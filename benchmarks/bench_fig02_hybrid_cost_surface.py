@@ -1,0 +1,35 @@
+"""Figure 2: the hybrid Grace/nested-loops cost surface Jh(x, y).
+
+Reproduces the nine heatmap panels (|V|/|T| in {1, 10, 100} x lambda in
+{2, 5, 8}) and prints each as an ASCII heatmap plus a per-panel summary of
+where the cheap region lies.
+"""
+
+from repro.bench import experiments
+from repro.bench.reporting import format_surface, format_table
+
+from conftest import attach_summary, run_experiment
+
+
+def test_figure2_cost_surfaces(benchmark, report):
+    rows = run_experiment(benchmark, experiments.hybrid_cost_surfaces, grid_points=21)
+    report(
+        format_table(
+            rows,
+            [
+                "size_ratio",
+                "lambda",
+                "best_x",
+                "best_y",
+                "cost_at_grace",
+                "cost_at_diagonal",
+                "cost_at_origin",
+            ],
+            title="Figure 2 - normalized Jh(x, y) per panel "
+            "(grace = (1,1), origin = nested loops)",
+        )
+    )
+    for row in rows:
+        report(format_surface(row["surface"]))
+    attach_summary(benchmark, panels=len(rows))
+    assert len(rows) == 9

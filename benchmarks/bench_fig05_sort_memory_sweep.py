@@ -1,0 +1,59 @@
+"""Figure 5: sort response time and I/O versus available memory.
+
+Prints the response-time series for ExMS, LaS, HybS (20 %, 80 %) and SegS
+(20 %, 80 %) on the blocked-memory backend, plus the min/max cacheline
+writes (reads) table shown under the figure in the paper.
+"""
+
+from repro.bench import experiments
+from repro.bench.reporting import format_series, format_table
+
+from conftest import attach_summary, run_experiment
+
+NUM_RECORDS = 3_000
+MEMORY_FRACTIONS = (0.02, 0.05, 0.08, 0.11, 0.15)
+
+
+def test_figure5_sort_memory_sweep(benchmark, report):
+    rows = run_experiment(
+        benchmark,
+        experiments.sort_memory_sweep,
+        num_records=NUM_RECORDS,
+        memory_fractions=MEMORY_FRACTIONS,
+        backend_name="blocked_memory",
+        intensities=(0.2, 0.8),
+    )
+    report(
+        format_series(
+            rows,
+            "memory_fraction",
+            "simulated_seconds",
+            title=(
+                "Figure 5 - sorting response time (simulated seconds) vs "
+                "memory fraction of the input, blocked memory backend"
+            ),
+        )
+    )
+    summary = experiments.writes_reads_summary(rows)
+    report(
+        format_table(
+            summary,
+            [
+                "algorithm",
+                "min_writes",
+                "reads_at_min_writes",
+                "max_writes",
+                "reads_at_max_writes",
+            ],
+            title="Figure 5 (bottom table) - min/max cacheline writes (reads)",
+        )
+    )
+    attach_summary(benchmark, rows=len(rows), records=NUM_RECORDS)
+    assert all(row["sorted"] for row in rows)
+
+    # Headline shape checks from the paper: the write-limited algorithms
+    # write no more than ExMS, and LaS has the best write profile.
+    writes = {entry["algorithm"]: entry for entry in summary}
+    assert writes["LaS"]["max_writes"] <= writes["ExMS"]["min_writes"]
+    for label in ("SegS, 20%", "SegS, 80%"):
+        assert writes[label]["min_writes"] <= writes["ExMS"]["min_writes"]

@@ -1,0 +1,42 @@
+"""Figure 6: sorting algorithms under the four persistence backends."""
+
+from repro.bench import experiments
+from repro.bench.reporting import format_series
+
+from conftest import attach_summary, run_experiment
+
+NUM_RECORDS = 2_000
+MEMORY_FRACTIONS = (0.05, 0.15)
+
+
+def test_figure6_sort_backend_comparison(benchmark, report):
+    rows = run_experiment(
+        benchmark,
+        experiments.sort_backend_comparison,
+        num_records=NUM_RECORDS,
+        memory_fractions=MEMORY_FRACTIONS,
+        intensities=(0.2, 0.8),
+    )
+    for backend in ("dynamic_array", "ramdisk", "pmfs", "blocked_memory"):
+        backend_rows = [row for row in rows if row["backend"] == backend]
+        report(
+            format_series(
+                backend_rows,
+                "memory_fraction",
+                "simulated_seconds",
+                title=f"Figure 6 - sorting on the {backend} backend",
+            )
+        )
+    attach_summary(benchmark, rows=len(rows))
+
+    # The paper's ordering: blocked memory carries the minimal overhead and
+    # the dynamic array the largest, for every algorithm and memory size.
+    by_key = {}
+    for row in rows:
+        by_key.setdefault((row["algorithm"], row["memory_fraction"]), {})[
+            row["backend"]
+        ] = row["simulated_seconds"]
+    for timings in by_key.values():
+        assert timings["blocked_memory"] <= timings["pmfs"]
+        assert timings["pmfs"] <= timings["ramdisk"] * 1.001
+        assert timings["blocked_memory"] <= timings["dynamic_array"]

@@ -1,0 +1,77 @@
+"""Figure 7: join response time and I/O versus available memory.
+
+Covers the four panels of the figure: (a) the overall line-up, (b) HybJ
+against GJ for three intensity pairs, (c) SegJ against GJ for three
+intensities, and (d) LaJ against HJ and GJ.  The join output is pipelined
+(not written), matching the paper's cost accounting for joins.
+"""
+
+from repro.bench import experiments
+from repro.bench.reporting import format_series, format_table
+
+from conftest import attach_summary, run_experiment
+
+LEFT_RECORDS = 800
+RIGHT_RECORDS = 8_000
+MEMORY_FRACTIONS = (0.02, 0.05, 0.08, 0.11, 0.15)
+
+
+def test_figure7_join_memory_sweep(benchmark, report):
+    rows = run_experiment(
+        benchmark,
+        experiments.join_memory_sweep,
+        left_records=LEFT_RECORDS,
+        right_records=RIGHT_RECORDS,
+        memory_fractions=MEMORY_FRACTIONS,
+        backend_name="blocked_memory",
+        hybrid_intensities=((0.2, 0.8), (0.5, 0.5), (0.8, 0.2)),
+        segmented_intensities=(0.2, 0.5, 0.8),
+    )
+
+    def panel(labels, title):
+        report(
+            format_series(
+                [row for row in rows if row["algorithm"] in labels],
+                "memory_fraction",
+                "simulated_seconds",
+                title=title,
+            )
+        )
+
+    panel(
+        {"NLJ", "HJ", "GJ", "LaJ", "SegJ, 50%", "HybJ, 50% - 50%"},
+        "Figure 7(a) - overall join response time (simulated seconds)",
+    )
+    panel(
+        {"GJ", "HybJ, 20% - 80%", "HybJ, 50% - 50%", "HybJ, 80% - 20%"},
+        "Figure 7(b) - HybJ compared to GJ",
+    )
+    panel(
+        {"GJ", "SegJ, 20%", "SegJ, 50%", "SegJ, 80%"},
+        "Figure 7(c) - SegJ compared to GJ",
+    )
+    panel({"HJ", "GJ", "LaJ"}, "Figure 7(d) - LaJ compared to HJ and GJ")
+
+    summary = experiments.writes_reads_summary(rows)
+    report(
+        format_table(
+            summary,
+            [
+                "algorithm",
+                "min_writes",
+                "reads_at_min_writes",
+                "max_writes",
+                "reads_at_max_writes",
+            ],
+            title="Figure 7 (bottom table) - min/max cacheline writes (reads)",
+        )
+    )
+    attach_summary(benchmark, rows=len(rows))
+
+    writes = {entry["algorithm"]: entry for entry in summary}
+    # Headline shapes: HJ writes the most, NLJ the least, and every
+    # write-limited join writes less than GJ.
+    assert writes["HJ"]["min_writes"] > writes["GJ"]["max_writes"]
+    assert writes["NLJ"]["max_writes"] == 0
+    for label in ("LaJ", "SegJ, 50%", "HybJ, 50% - 50%"):
+        assert writes[label]["max_writes"] < writes["GJ"]["min_writes"] * 1.001

@@ -1,0 +1,42 @@
+"""Figure 8: join algorithms under the four persistence backends."""
+
+from repro.bench import experiments
+from repro.bench.reporting import format_series
+
+from conftest import attach_summary, run_experiment
+
+LEFT_RECORDS = 500
+RIGHT_RECORDS = 5_000
+MEMORY_FRACTIONS = (0.05, 0.15)
+
+
+def test_figure8_join_backend_comparison(benchmark, report):
+    rows = run_experiment(
+        benchmark,
+        experiments.join_backend_comparison,
+        left_records=LEFT_RECORDS,
+        right_records=RIGHT_RECORDS,
+        memory_fractions=MEMORY_FRACTIONS,
+    )
+    for backend in ("dynamic_array", "ramdisk", "pmfs", "blocked_memory"):
+        backend_rows = [row for row in rows if row["backend"] == backend]
+        report(
+            format_series(
+                backend_rows,
+                "memory_fraction",
+                "simulated_seconds",
+                title=f"Figure 8 - joins on the {backend} backend",
+            )
+        )
+    attach_summary(benchmark, rows=len(rows))
+
+    # Blocked memory has the smallest overhead; PMFS follows closely.
+    by_key = {}
+    for row in rows:
+        by_key.setdefault((row["algorithm"], row["memory_fraction"]), {})[
+            row["backend"]
+        ] = row["simulated_seconds"]
+    for timings in by_key.values():
+        assert timings["blocked_memory"] <= timings["pmfs"] * 1.001
+        assert timings["blocked_memory"] <= timings["dynamic_array"]
+        assert timings["blocked_memory"] <= timings["ramdisk"]

@@ -1,0 +1,43 @@
+"""Figure 9: impact of the write-intensity knob on SegS and HybS."""
+
+from repro.bench import experiments
+from repro.bench.reporting import format_series
+
+from conftest import attach_summary, run_experiment
+
+NUM_RECORDS = 2_000
+INTENSITIES = (0.1, 0.3, 0.5, 0.7, 0.9)
+
+
+def test_figure9_sort_write_intensity(benchmark, report):
+    rows = run_experiment(
+        benchmark,
+        experiments.sort_write_intensity,
+        num_records=NUM_RECORDS,
+        intensities=INTENSITIES,
+        memory_fraction=0.08,
+        backends=("blocked_memory", "pmfs", "ramdisk", "dynamic_array"),
+    )
+    for backend in ("blocked_memory", "pmfs", "ramdisk", "dynamic_array"):
+        backend_rows = [row for row in rows if row["backend"] == backend]
+        report(
+            format_series(
+                backend_rows,
+                "algorithm",
+                "simulated_seconds",
+                group_column="backend",
+                title=f"Figure 9 - write-intensity sweep on {backend} "
+                "(labels encode the intensity)",
+            )
+        )
+    attach_summary(benchmark, rows=len(rows))
+
+    # SegS responds to the knob less strongly than HybS responds to memory
+    # pressure; at minimum, raising SegS intensity must not increase reads.
+    blocked = [row for row in rows if row["backend"] == "blocked_memory"]
+    segs = sorted(
+        (row for row in blocked if row["algorithm"].startswith("SegS")),
+        key=lambda row: row["algorithm"],
+    )
+    reads = [row["cacheline_reads"] for row in segs]
+    assert reads == sorted(reads, reverse=True)

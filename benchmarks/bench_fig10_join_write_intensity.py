@@ -1,0 +1,44 @@
+"""Figure 10: impact of the write-intensity knob on SegJ and HybJ."""
+
+from repro.bench import experiments
+from repro.bench.reporting import format_series
+
+from conftest import attach_summary, run_experiment
+
+LEFT_RECORDS = 600
+RIGHT_RECORDS = 6_000
+INTENSITIES = (0.1, 0.3, 0.5, 0.7, 0.9)
+
+
+def test_figure10_join_write_intensity(benchmark, report):
+    rows = run_experiment(
+        benchmark,
+        experiments.join_write_intensity,
+        left_records=LEFT_RECORDS,
+        right_records=RIGHT_RECORDS,
+        intensities=INTENSITIES,
+        memory_fraction=0.08,
+        fixed_intensities=(0.2, 0.5, 0.8),
+    )
+    report(
+        format_series(
+            rows,
+            "memory_fraction",
+            "simulated_seconds",
+            title=(
+                "Figure 10 - join response time as the write intensity of "
+                "SegJ / HybJ varies (labels encode the swept knob)"
+            ),
+        )
+    )
+    attach_summary(benchmark, rows=len(rows))
+
+    # SegJ: raising the intensity (more materialized partitions) must not
+    # increase the number of reads.
+    segj = [row for row in rows if row["algorithm"].startswith("SegJ")]
+    by_label = {}
+    for row in segj:
+        by_label.setdefault(row["algorithm"], row)
+    ordered = [by_label[label] for label in sorted(by_label)]
+    reads = [row["cacheline_reads"] for row in ordered]
+    assert reads == sorted(reads, reverse=True)

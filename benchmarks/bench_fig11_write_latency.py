@@ -1,0 +1,38 @@
+"""Figure 11: impact of the write latency on selected sort and join algorithms."""
+
+from repro.bench import experiments
+from repro.bench.reporting import format_series
+
+from conftest import attach_summary, run_experiment
+
+
+def test_figure11_write_latency_sensitivity(benchmark, report):
+    rows = run_experiment(
+        benchmark,
+        experiments.latency_sensitivity,
+        write_latencies=(50.0, 100.0, 150.0, 200.0),
+        num_sort_records=2_000,
+        join_left_records=500,
+        join_right_records=5_000,
+        memory_fraction=0.08,
+    )
+    for operation in ("sort", "join"):
+        report(
+            format_series(
+                [row for row in rows if row["operation"] == operation],
+                "write_latency_ns",
+                "simulated_seconds",
+                title=f"Figure 11 - {operation} response time vs write latency (ns)",
+            )
+        )
+    attach_summary(benchmark, rows=len(rows))
+
+    # Resilience claim: quadrupling the write latency slows the
+    # write-limited algorithms by far less than 4x.
+    by_algorithm = {}
+    for row in rows:
+        by_algorithm.setdefault((row["operation"], row["algorithm"]), []).append(row)
+    for series in by_algorithm.values():
+        ordered = sorted(series, key=lambda row: row["write_latency_ns"])
+        slowdown = ordered[-1]["simulated_seconds"] / ordered[0]["simulated_seconds"]
+        assert slowdown < 3.8

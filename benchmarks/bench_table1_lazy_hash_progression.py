@@ -1,0 +1,36 @@
+"""Table 1: standard versus lazy hash join, iteration by iteration."""
+
+from repro.bench import experiments
+from repro.bench.reporting import format_table
+
+from conftest import attach_summary, run_experiment
+
+
+def test_table1_progression(benchmark, report):
+    rows = run_experiment(
+        benchmark,
+        experiments.lazy_hash_table1,
+        num_partitions=8,
+        left_per_iteration=1_000.0,
+        right_per_iteration=10_000.0,
+        lam=15.0,
+    )
+    report(
+        format_table(
+            rows,
+            [
+                "iteration",
+                "standard_reads",
+                "standard_writes",
+                "lazy_reads",
+                "lazy_writes",
+                "savings",
+                "penalty",
+                "net_benefit",
+            ],
+            title="Table 1 - standard vs lazy hash join progression "
+            "(buffers; costs in read units, lambda = 15)",
+        )
+    )
+    attach_summary(benchmark, crossover=rows[0]["crossover_iteration"])
+    assert all(row["lazy_writes"] == 0 for row in rows)

@@ -1,0 +1,39 @@
+"""Shared helpers for the benchmark targets.
+
+Every file in this directory regenerates one table or figure of the
+paper's evaluation section.  The actual experiment logic lives in
+:mod:`repro.bench.experiments`; the benchmark wrappers run each experiment
+exactly once under pytest-benchmark (the interesting output is the
+experiment's own data, not the wall-clock time of the Python simulator)
+and print the same rows/series the paper reports.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_experiment(benchmark, experiment, *args, **kwargs):
+    """Run an experiment once under pytest-benchmark and return its rows."""
+    result = benchmark.pedantic(
+        experiment, args=args, kwargs=kwargs, rounds=1, iterations=1
+    )
+    return result
+
+
+def attach_summary(benchmark, **info) -> None:
+    """Record experiment metadata in the benchmark report."""
+    for key, value in info.items():
+        benchmark.extra_info[key] = value
+
+
+@pytest.fixture
+def report(capsys):
+    """Print a report section so it survives pytest's output capturing."""
+
+    def _report(text: str) -> None:
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _report

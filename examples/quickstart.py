@@ -1,0 +1,59 @@
+"""Quickstart: sort a relation on simulated persistent memory.
+
+Run with::
+
+    python examples/quickstart.py
+
+The example builds the simulated device (10 ns reads, 150 ns writes, the
+paper's configuration), loads a Wisconsin-style relation onto the
+blocked-memory backend, and sorts it twice: once with the symmetric-I/O
+external mergesort and once with the write-limited segment sort.  It then
+prints the cacheline traffic and simulated response time of each, showing
+the write savings the paper is about.
+"""
+
+from repro import (
+    ExternalMergeSort,
+    MemoryBudget,
+    SegmentSort,
+)
+from repro.bench.harness import make_environment
+from repro.workloads.generator import make_sort_input
+
+
+def main() -> None:
+    # A simulated persistent-memory device with the paper's latencies and a
+    # blocked-memory persistence layer (the lowest-overhead option).
+    env = make_environment("blocked_memory")
+    print(f"device: read 10 ns, write 150 ns, lambda = {env.device.write_read_ratio:.0f}")
+
+    # A 5,000-record input (ten 8-byte integer attributes per record, keys
+    # following the Wisconsin benchmark permutation).
+    relation = make_sort_input(5_000, env.backend, name="orders")
+    print(f"input: {len(relation)} records, {relation.nbytes / 1024:.0f} KiB")
+
+    # Give the sort 8 % of the input size as DRAM workspace, as in the
+    # paper's memory sweeps.
+    budget = MemoryBudget.fraction_of(relation, 0.08)
+    print(f"memory budget: {budget.nbytes / 1024:.0f} KiB ({budget.buffers:.0f} cachelines)\n")
+
+    for algorithm in (
+        ExternalMergeSort(env.backend, budget),
+        SegmentSort(env.backend, budget, write_intensity=0.5),
+    ):
+        result = algorithm.sort(relation)
+        assert result.output.is_sorted()
+        print(f"{algorithm.short_name}:")
+        print(f"  cacheline writes : {result.cacheline_writes:12.0f}")
+        print(f"  cacheline reads  : {result.cacheline_reads:12.0f}")
+        print(f"  simulated time   : {result.simulated_seconds * 1e3:9.2f} ms")
+        print(f"  runs / merge passes / input scans: "
+              f"{result.runs_generated} / {result.merge_passes} / {result.input_scans}")
+        print()
+
+    print("Segment sort trades extra reads for fewer persistent-memory writes,")
+    print("which is exactly the trade that pays off on a write-asymmetric device.")
+
+
+if __name__ == "__main__":
+    main()

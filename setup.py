@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so
+that environments without the ``wheel`` package (which pre-setuptools-70
+editable installs require) can still do a legacy ``pip install -e .``.
+"""
+
+from setuptools import setup
+
+setup()

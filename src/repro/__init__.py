@@ -1,0 +1,103 @@
+"""Write-limited sorts and joins for persistent memory.
+
+A faithful, pure-Python reproduction of the system described in
+"Write-limited sorts and joins for persistent memory" (Stratis D. Viglas,
+PVLDB 7(5), 2014).
+
+The package is organized as follows:
+
+``repro.pmem``
+    A simulated persistent-memory device with asymmetric read/write costs,
+    plus the four persistence-layer backends of Section 3.2 of the paper
+    (blocked memory, dynamic arrays, RAM disk, PMFS).
+
+``repro.storage``
+    Records, persistent collections, the DRAM bufferpool, and run files.
+
+``repro.runtime``
+    The deferred-materialization API of Section 3.1: ``split``,
+    ``partition``, ``filter``, ``merge``; the control-flow graph; the
+    operator context and its materialization rules.
+
+``repro.sorts``
+    External mergesort, multi-pass selection sort, segment sort, hybrid
+    sort and lazy sort, together with their analytical cost models.
+
+``repro.joins``
+    Nested-loops, hash and Grace joins, plus the write-limited hybrid
+    Grace/nested-loops join, segmented Grace join and lazy hash join.
+
+``repro.workloads``
+    Wisconsin-benchmark-style input generators.
+
+``repro.analysis``
+    Cost-surface computation, cost-model validation (Kendall's tau) and the
+    lazy-hash-join progression of Table 1.
+
+``repro.bench``
+    The experiment harness used by the ``benchmarks/`` directory to
+    regenerate every table and figure of the paper's evaluation.
+"""
+
+from repro.pmem.latency import LatencyModel
+from repro.pmem.device import DeviceGeometry, PersistentMemoryDevice
+from repro.pmem.backends import (
+    BlockedMemoryBackend,
+    DynamicArrayBackend,
+    PersistenceBackend,
+    PmfsBackend,
+    RamDiskBackend,
+    make_backend,
+)
+from repro.storage.schema import Schema, WISCONSIN_SCHEMA
+from repro.storage.collection import CollectionStatus, PersistentCollection
+from repro.storage.bufferpool import Bufferpool, MemoryBudget
+from repro.runtime.context import OperatorContext
+from repro.sorts import (
+    ExternalMergeSort,
+    HybridSort,
+    LazySort,
+    SegmentSort,
+    SelectionSort,
+)
+from repro.joins import (
+    GraceJoin,
+    HybridGraceNestedLoopsJoin,
+    LazyHashJoin,
+    NestedLoopsJoin,
+    SegmentedGraceJoin,
+    SimpleHashJoin,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "LatencyModel",
+    "DeviceGeometry",
+    "PersistentMemoryDevice",
+    "PersistenceBackend",
+    "BlockedMemoryBackend",
+    "DynamicArrayBackend",
+    "RamDiskBackend",
+    "PmfsBackend",
+    "make_backend",
+    "Schema",
+    "WISCONSIN_SCHEMA",
+    "CollectionStatus",
+    "PersistentCollection",
+    "Bufferpool",
+    "MemoryBudget",
+    "OperatorContext",
+    "ExternalMergeSort",
+    "SelectionSort",
+    "SegmentSort",
+    "HybridSort",
+    "LazySort",
+    "NestedLoopsJoin",
+    "SimpleHashJoin",
+    "GraceJoin",
+    "HybridGraceNestedLoopsJoin",
+    "SegmentedGraceJoin",
+    "LazyHashJoin",
+    "__version__",
+]

@@ -1,0 +1,42 @@
+"""Write-limited aggregation (the paper's future-work extension).
+
+Section 6 of the paper lists grouping/aggregation as the natural next
+operation to adapt to persistent memory.  This package provides two
+grouped-aggregation operators built on the same substrate as the sorts and
+joins:
+
+* :class:`~repro.aggregation.operators.SortedAggregation` — pipelines a
+  write-limited sort (segment sort by default) into a streaming group-by,
+  so the only persistent-memory writes are the aggregate output itself
+  (plus whatever the chosen sort writes).
+* :class:`~repro.aggregation.operators.HashAggregation` — classic hash
+  aggregation with partition spilling; the write-incurring baseline.
+"""
+
+from repro.aggregation.functions import (
+    AGGREGATE_REGISTRY,
+    AggregateFunction,
+    AverageAggregate,
+    CountAggregate,
+    MaxAggregate,
+    MinAggregate,
+    SumAggregate,
+)
+from repro.aggregation.operators import (
+    AggregationResult,
+    HashAggregation,
+    SortedAggregation,
+)
+
+__all__ = [
+    "AggregateFunction",
+    "CountAggregate",
+    "SumAggregate",
+    "MinAggregate",
+    "MaxAggregate",
+    "AverageAggregate",
+    "AGGREGATE_REGISTRY",
+    "AggregationResult",
+    "SortedAggregation",
+    "HashAggregation",
+]

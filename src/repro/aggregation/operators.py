@@ -1,0 +1,312 @@
+"""Grouped-aggregation operators over persistent collections.
+
+Two strategies, mirroring the sort/join duality of the paper:
+
+* :class:`SortedAggregation` is the *write-limited* strategy: it sorts the
+  input on the grouping attribute with one of the Section 2.1 sorts
+  (segment sort by default, output pipelined) and folds the sorted stream
+  into per-group accumulators.  Its persistent-memory writes are the
+  aggregate output plus whatever the chosen sort spills.
+* :class:`HashAggregation` is the *write-incurring* baseline: groups are
+  accumulated in a DRAM hash table and, when the table exceeds the memory
+  budget, whole partitions of accumulated state are spilled to persistent
+  memory and re-read at the end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import ConfigurationError, InsufficientMemoryError
+from repro.aggregation.functions import AggregateFunction, make_aggregate
+from repro.joins.common import partition_of
+from repro.pmem.backends.base import PersistenceBackend
+from repro.pmem.metrics import IOSnapshot
+from repro.sorts.segment_sort import SegmentSort
+from repro.storage.bufferpool import MemoryBudget
+from repro.storage.collection import CollectionStatus, PersistentCollection
+from repro.storage.schema import Schema, WISCONSIN_SCHEMA
+
+
+@dataclass
+class AggregationResult:
+    """Outcome of one grouped aggregation."""
+
+    #: Output collection: one record per group, ``(group_key, agg1, agg2, ...)``.
+    output: PersistentCollection
+    #: Device I/O attributable to this execution.
+    io: IOSnapshot
+    #: Number of distinct groups produced.
+    groups: int = 0
+    #: Number of spill partitions written (hash aggregation only).
+    spills: int = 0
+    details: dict = field(default_factory=dict)
+
+    @property
+    def simulated_seconds(self) -> float:
+        return self.io.total_ns / 1e9
+
+    @property
+    def cacheline_writes(self) -> float:
+        return self.io.cacheline_writes
+
+    @property
+    def cacheline_reads(self) -> float:
+        return self.io.cacheline_reads
+
+
+class _AggregationBase:
+    """Shared construction and output handling for the two strategies."""
+
+    short_name = "aggregation"
+    write_limited = False
+
+    def __init__(
+        self,
+        backend: PersistenceBackend,
+        budget: MemoryBudget,
+        group_index: int = 0,
+        aggregates: dict[str, int] | None = None,
+        schema: Schema = WISCONSIN_SCHEMA,
+        materialize_output: bool = True,
+    ) -> None:
+        """Configure the aggregation.
+
+        Args:
+            backend: persistence backend for spills and the output.
+            budget: DRAM budget for accumulators / sort workspace.
+            group_index: attribute position to group by.
+            aggregates: mapping of aggregate name ("count", "sum", "min",
+                "max", "avg") to the attribute index it is computed over.
+                Defaults to ``{"count": group_index}``.
+            schema: input record schema.
+            materialize_output: write the per-group output to persistent
+                memory (default) or keep it in DRAM.
+        """
+        if not 0 <= group_index < schema.num_fields:
+            raise ConfigurationError(
+                f"group attribute {group_index} outside the schema's "
+                f"{schema.num_fields} attributes"
+            )
+        self.backend = backend
+        self.budget = budget
+        self.schema = schema
+        self.group_index = group_index
+        self.materialize_output = materialize_output
+        spec = aggregates or {"count": group_index}
+        self.aggregates: list[tuple[AggregateFunction, int]] = []
+        for name, attribute in spec.items():
+            if not 0 <= attribute < schema.num_fields:
+                raise ConfigurationError(
+                    f"aggregate {name!r} over attribute {attribute} outside schema"
+                )
+            self.aggregates.append((make_aggregate(name), attribute))
+        self.workspace_records = budget.record_capacity(schema)
+        if self.workspace_records < 1:
+            raise InsufficientMemoryError(
+                f"{self.short_name}: budget holds no records"
+            )
+        self.output_schema = Schema(
+            num_fields=1 + len(self.aggregates),
+            field_bytes=schema.field_bytes,
+            key_index=0,
+        )
+
+    def aggregate(self, collection: PersistentCollection) -> AggregationResult:
+        """Aggregate ``collection`` and return the result with its I/O delta."""
+        device = self.backend.device
+        before = device.snapshot()
+        result = self._execute(collection)
+        result.io = device.snapshot() - before
+        return result
+
+    def _execute(self, collection: PersistentCollection) -> AggregationResult:
+        raise NotImplementedError
+
+    def _make_output(self, input_name: str) -> PersistentCollection:
+        name = f"{input_name}-groupby-{self.short_name.lower()}"
+        if self.materialize_output:
+            return PersistentCollection(
+                name=name,
+                backend=self.backend,
+                schema=self.output_schema,
+                status=CollectionStatus.MATERIALIZED,
+            )
+        return PersistentCollection(
+            name=name, schema=self.output_schema, status=CollectionStatus.MEMORY
+        )
+
+    def _fresh_states(self) -> list:
+        return [aggregate.initial() for aggregate, _ in self.aggregates]
+
+    def _step_states(self, states: list, record: tuple) -> list:
+        return [
+            aggregate.step(state, record[attribute])
+            for state, (aggregate, attribute) in zip(states, self.aggregates)
+        ]
+
+    def _finalize(self, group_key: int, states: list) -> tuple:
+        return tuple(
+            [group_key]
+            + [aggregate.final(state) for state, (aggregate, _) in zip(states, self.aggregates)]
+        )
+
+
+class SortedAggregation(_AggregationBase):
+    """Write-limited aggregation: sort (pipelined) then stream group-by."""
+
+    short_name = "SortAgg"
+    write_limited = True
+
+    def __init__(self, *args, sort_class=SegmentSort, sort_kwargs=None, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.sort_class = sort_class
+        self.sort_kwargs = dict(sort_kwargs or {})
+
+    def _execute(self, collection: PersistentCollection) -> AggregationResult:
+        output = self._make_output(collection.name)
+        if len(collection) == 0:
+            output.seal()
+            return AggregationResult(output=output, io=None)
+
+        group_schema = Schema(
+            num_fields=self.schema.num_fields,
+            field_bytes=self.schema.field_bytes,
+            key_index=self.group_index,
+        )
+        sorter = self.sort_class(
+            self.backend,
+            self.budget,
+            schema=group_schema,
+            materialize_output=False,
+            **self.sort_kwargs,
+        )
+        sort_result = sorter.sort(collection)
+
+        groups = 0
+        current_key = None
+        states = self._fresh_states()
+        for record in sort_result.output.scan():
+            key = record[self.group_index]
+            if current_key is None:
+                current_key = key
+            if key != current_key:
+                output.append(self._finalize(current_key, states))
+                groups += 1
+                current_key = key
+                states = self._fresh_states()
+            states = self._step_states(states, record)
+        output.append(self._finalize(current_key, states))
+        groups += 1
+        output.seal()
+        return AggregationResult(
+            output=output,
+            io=None,
+            groups=groups,
+            details={
+                "sort": sorter.short_name,
+                "sort_runs": sort_result.runs_generated,
+                "sort_scans": sort_result.input_scans,
+            },
+        )
+
+
+class HashAggregation(_AggregationBase):
+    """Hash aggregation with partition spilling (write-incurring baseline)."""
+
+    short_name = "HashAgg"
+    write_limited = False
+
+    #: Approximate DRAM bytes per in-flight group (key + accumulator states).
+    GROUP_STATE_BYTES = 64
+
+    #: Number of spill partitions new groups overflow into.
+    SPILL_PARTITIONS = 8
+
+    def _execute(self, collection: PersistentCollection) -> AggregationResult:
+        output = self._make_output(collection.name)
+        if len(collection) == 0:
+            output.seal()
+            return AggregationResult(output=output, io=None)
+
+        max_groups = max(1, self.budget.nbytes // self.GROUP_STATE_BYTES)
+        spills = 0
+        groups = 0
+
+        def aggregate_stream(records, label: str, depth: int) -> int:
+            """Aggregate a record stream, spilling overflow groups.
+
+            A group's records are never split between the in-memory table
+            and the spills: once a key owns a table entry every later record
+            with that key folds into it, and keys first seen after the table
+            fills are spilled wholesale and re-aggregated in a later pass.
+            Returns the number of groups emitted.
+            """
+            nonlocal spills
+            table: dict[int, list] = {}
+            partitions: list[PersistentCollection | None] = [None] * self.SPILL_PARTITIONS
+            spilled_records = 0
+            for record in records:
+                key = record[self.group_index]
+                states = table.get(key)
+                if states is not None:
+                    table[key] = self._step_states(states, record)
+                    continue
+                if len(table) < max_groups:
+                    table[key] = self._step_states(self._fresh_states(), record)
+                    continue
+                index = partition_of(key, self.SPILL_PARTITIONS)
+                target = partitions[index]
+                if target is None:
+                    spills += 1
+                    target = PersistentCollection(
+                        name=f"{collection.name}-hashagg-spill-{depth}-{label}-{index}",
+                        backend=self.backend,
+                        schema=self.schema,
+                        status=CollectionStatus.MATERIALIZED,
+                    )
+                    partitions[index] = target
+                target.append(record)
+                spilled_records += 1
+
+            emitted = 0
+            for key in sorted(table):
+                output.append(self._finalize(key, table[key]))
+                emitted += 1
+            for index, partition in enumerate(partitions):
+                if partition is None:
+                    continue
+                partition.seal()
+                if depth >= 8 or len(partition) >= spilled_records:
+                    # Degenerate split (e.g. one giant group): finish in
+                    # memory rather than recursing forever.
+                    emitted += self._aggregate_in_memory(partition, output)
+                else:
+                    emitted += aggregate_stream(
+                        partition.scan(), f"{label}.{index}", depth + 1
+                    )
+            return emitted
+
+        groups = aggregate_stream(collection.scan(), "root", depth=0)
+        output.seal()
+        return AggregationResult(
+            output=output,
+            io=None,
+            groups=groups,
+            spills=spills,
+            details={"max_groups_in_memory": max_groups},
+        )
+
+    def _aggregate_in_memory(
+        self, partition: PersistentCollection, output: PersistentCollection
+    ) -> int:
+        table: dict[int, list] = {}
+        for record in partition.scan():
+            key = record[self.group_index]
+            states = table.get(key, None)
+            if states is None:
+                states = self._fresh_states()
+            table[key] = self._step_states(states, record)
+        for key in sorted(table):
+            output.append(self._finalize(key, table[key]))
+        return len(table)

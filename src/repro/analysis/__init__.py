@@ -1,0 +1,12 @@
+"""Analytical studies: cost surfaces, rank concordance, Table 1."""
+
+from repro.analysis.concordance import kendall_tau, rank_by_value
+from repro.analysis.heatmap import hybrid_cost_surface
+from repro.analysis.table1 import lazy_hash_progression
+
+__all__ = [
+    "kendall_tau",
+    "rank_by_value",
+    "hybrid_cost_surface",
+    "lazy_hash_progression",
+]

@@ -1,0 +1,83 @@
+"""Rank concordance between estimated and measured algorithm performance.
+
+Figure 12 of the paper validates the Section 2 cost models by ranking the
+algorithms by estimated cost and by measured response time and reporting
+Kendall's tau between the two rankings.  Kendall's tau is implemented here
+directly (tau-b, with the standard tie correction) so the library has no
+hard dependency on SciPy; when SciPy is installed the result agrees with
+``scipy.stats.kendalltau``.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.exceptions import ConfigurationError
+
+
+def kendall_tau(first: Sequence[float], second: Sequence[float]) -> float:
+    """Kendall's tau-b correlation between two paired score sequences.
+
+    Args:
+        first: scores of the items under one criterion (e.g. estimated cost).
+        second: scores of the same items under another criterion (e.g.
+            measured response time), in the same item order.
+
+    Returns:
+        A value in [-1, 1]; 1 means the orderings agree completely, -1 that
+        they are reversed, 0 that they are unrelated.
+    """
+    if len(first) != len(second):
+        raise ConfigurationError("score sequences must have equal length")
+    n = len(first)
+    if n < 2:
+        raise ConfigurationError("need at least two items to correlate")
+    concordant = 0
+    discordant = 0
+    ties_first = 0
+    ties_second = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            delta_first = first[i] - first[j]
+            delta_second = second[i] - second[j]
+            if delta_first == 0 and delta_second == 0:
+                continue
+            if delta_first == 0:
+                ties_first += 1
+            elif delta_second == 0:
+                ties_second += 1
+            elif (delta_first > 0) == (delta_second > 0):
+                concordant += 1
+            else:
+                discordant += 1
+    total = concordant + discordant
+    denominator = (
+        (total + ties_first) * (total + ties_second)
+    ) ** 0.5
+    if denominator == 0:
+        return 1.0
+    return (concordant - discordant) / denominator
+
+
+def rank_by_value(scores: Mapping[str, float]) -> list[str]:
+    """Item names ordered from best (lowest score) to worst."""
+    return [name for name, _ in sorted(scores.items(), key=lambda item: item[1])]
+
+
+def concordance(
+    estimated: Mapping[str, float], measured: Mapping[str, float]
+) -> float:
+    """Kendall's tau between estimated and measured scores of the same items.
+
+    Only items present in both mappings participate; item order is
+    irrelevant because the pairing is by name.
+    """
+    common = sorted(set(estimated) & set(measured))
+    if len(common) < 2:
+        raise ConfigurationError(
+            "need at least two common algorithms to measure concordance"
+        )
+    return kendall_tau(
+        [estimated[name] for name in common],
+        [measured[name] for name in common],
+    )

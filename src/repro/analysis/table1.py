@@ -1,0 +1,92 @@
+"""The standard-vs-lazy hash join progression of Table 1.
+
+Table 1 of the paper tabulates, iteration by iteration, the reads and
+writes of standard hash join against lazy hash join, together with the
+savings the lazy variant accrues (writes it avoided) and the penalty it
+pays (extra reads).  The rows are produced analytically from the closed
+forms in the table, which makes them an exact reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ProgressionRow:
+    """One iteration of Table 1 (all I/O in buffers, costs in read units)."""
+
+    iteration: int
+    standard_reads: float
+    standard_writes: float
+    lazy_reads: float
+    lazy_writes: float
+    savings: float
+    penalty: float
+
+    @property
+    def net_benefit(self) -> float:
+        """Savings minus penalty; lazy is ahead while this is positive."""
+        return self.savings - self.penalty
+
+
+def lazy_hash_progression(
+    num_partitions: int,
+    left_per_iteration: float,
+    right_per_iteration: float,
+    lam: float,
+    read_cost: float = 1.0,
+) -> list[ProgressionRow]:
+    """Rows of Table 1 for ``num_partitions`` (the paper's m) iterations.
+
+    Args:
+        num_partitions: total number of iterations m.
+        left_per_iteration: the paper's M, the share of the left input
+            eliminated per iteration (in buffers).
+        right_per_iteration: the paper's M_T (right-input share), in buffers.
+        lam: write/read cost ratio.
+        read_cost: r, the per-buffer read cost (costs are reported in this
+            unit).
+    """
+    if num_partitions <= 0:
+        raise ConfigurationError("number of iterations must be positive")
+    if left_per_iteration < 0 or right_per_iteration < 0:
+        raise ConfigurationError("per-iteration shares must be non-negative")
+    if lam <= 0:
+        raise ConfigurationError("lambda must be positive")
+    per_iteration = left_per_iteration + right_per_iteration
+    rows = []
+    m = num_partitions
+    for i in range(1, m + 1):
+        standard_reads = (m - i + 1) * per_iteration
+        standard_writes = (m - i) * per_iteration
+        lazy_reads = m * per_iteration
+        lazy_writes = 0.0
+        savings = (m - i) * per_iteration * lam * read_cost
+        penalty = (i - 1) * per_iteration * read_cost
+        rows.append(
+            ProgressionRow(
+                iteration=i,
+                standard_reads=standard_reads,
+                standard_writes=standard_writes,
+                lazy_reads=lazy_reads,
+                lazy_writes=lazy_writes,
+                savings=savings,
+                penalty=penalty,
+            )
+        )
+    return rows
+
+
+def crossover_iteration(rows: list[ProgressionRow]) -> int | None:
+    """First iteration whose penalty exceeds its savings, if any.
+
+    This is the point at which lazy hash join should materialize an
+    intermediate input (the empirical counterpart of Eq. 11).
+    """
+    for row in rows:
+        if row.penalty > row.savings:
+            return row.iteration
+    return None

@@ -1,0 +1,29 @@
+"""Benchmark harness used by the ``benchmarks/`` directory.
+
+The harness keeps the per-figure experiment definitions
+(:mod:`repro.bench.experiments`) separate from generic plumbing
+(:mod:`repro.bench.harness`) and from output formatting
+(:mod:`repro.bench.reporting`), so the same experiments can be driven from
+pytest-benchmark, from the examples, or interactively.
+"""
+
+from repro.bench.harness import (
+    Environment,
+    join_algorithm_suite,
+    make_environment,
+    run_join,
+    run_sort,
+    sort_algorithm_suite,
+)
+from repro.bench import experiments, reporting
+
+__all__ = [
+    "Environment",
+    "make_environment",
+    "run_sort",
+    "run_join",
+    "sort_algorithm_suite",
+    "join_algorithm_suite",
+    "experiments",
+    "reporting",
+]

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised by the library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to discriminate finer-grained conditions.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this package."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed or configured with invalid parameters."""
+
+
+class InsufficientMemoryError(ReproError):
+    """An algorithm was given a memory budget below its minimum requirement."""
+
+
+class BufferpoolExhaustedError(ReproError):
+    """A bufferpool reservation exceeded the configured DRAM budget."""
+
+
+class CollectionStateError(ReproError):
+    """A persistent collection was used in a way its state does not allow.
+
+    Examples include appending to a sealed collection or scanning a deferred
+    collection that has no operator context able to produce it.
+    """
+
+
+class UnknownCollectionError(ReproError):
+    """A collection name was not found in the control-flow graph or backend."""
+
+
+class GraphConsistencyError(ReproError):
+    """The control-flow graph was asked to do something inconsistent.
+
+    For instance, reconstructing a collection that has no materialized
+    ancestor, or registering two producer calls for the same collection.
+    """
+
+
+class CostModelError(ReproError):
+    """A cost-model expression was evaluated outside its validity domain."""

@@ -1,0 +1,178 @@
+"""Common scaffolding for the join algorithms.
+
+Every join follows the same contract: construct it with a persistence
+backend and a DRAM budget, then call :meth:`JoinAlgorithm.join` with the
+two input collections.  By convention the *left* input is the smaller one
+(the paper's T) and the *right* input the larger one (V); the algorithms
+do not re-order them, so callers control which side is built against.
+"""
+
+from __future__ import annotations
+
+import abc
+import itertools
+from dataclasses import dataclass, field
+
+from repro.exceptions import ConfigurationError, InsufficientMemoryError
+from repro.joins.common import joined_schema
+from repro.pmem.backends.base import PersistenceBackend
+from repro.pmem.metrics import IOSnapshot
+from repro.storage.bufferpool import MemoryBudget
+from repro.storage.collection import CollectionStatus, PersistentCollection
+from repro.storage.schema import Schema, WISCONSIN_SCHEMA
+
+_join_output_counter = itertools.count()
+
+
+@dataclass
+class JoinResult:
+    """Outcome of one join execution."""
+
+    #: The join output collection (concatenated left+right records).
+    output: PersistentCollection
+    #: Device I/O attributable to this execution.
+    io: IOSnapshot
+    #: Number of hash partitions the algorithm used (0 for nested loops).
+    partitions: int = 0
+    #: Number of passes/iterations over the inputs.
+    iterations: int = 0
+    #: Algorithm-specific extras.
+    details: dict = field(default_factory=dict)
+
+    @property
+    def simulated_seconds(self) -> float:
+        return self.io.total_ns / 1e9
+
+    @property
+    def cacheline_writes(self) -> float:
+        return self.io.cacheline_writes
+
+    @property
+    def cacheline_reads(self) -> float:
+        return self.io.cacheline_reads
+
+    @property
+    def matches(self) -> int:
+        return len(self.output.records)
+
+
+class JoinAlgorithm(abc.ABC):
+    """Base class for all equi-join algorithms.
+
+    Args:
+        backend: persistence backend hosting partitions, intermediates and
+            (optionally) the join output.
+        budget: DRAM budget; bounds hash tables and nested-loop blocks.
+        left_schema / right_schema: record schemas of the two inputs.
+        materialize_output: write the join result to persistent memory
+            (default, as in the paper's experiments) or keep it in DRAM as
+            if pipelined.
+        partition_fudge_factor: the paper's f, the growth of a partition
+            once a hash table is built over it (1.2 in the paper).
+    """
+
+    short_name: str = "join"
+    write_limited: bool = False
+
+    def __init__(
+        self,
+        backend: PersistenceBackend,
+        budget: MemoryBudget,
+        left_schema: Schema = WISCONSIN_SCHEMA,
+        right_schema: Schema = WISCONSIN_SCHEMA,
+        materialize_output: bool = True,
+        partition_fudge_factor: float = 1.2,
+    ) -> None:
+        if partition_fudge_factor < 1.0:
+            raise ConfigurationError("partition fudge factor must be >= 1.0")
+        self.backend = backend
+        self.budget = budget
+        self.left_schema = left_schema
+        self.right_schema = right_schema
+        self.materialize_output = materialize_output
+        self.partition_fudge_factor = partition_fudge_factor
+        self.output_schema = joined_schema(left_schema, right_schema)
+        self.left_workspace_records = budget.record_capacity(left_schema)
+        if self.left_workspace_records < 1:
+            raise InsufficientMemoryError(
+                f"{self.short_name}: budget of {budget.nbytes} bytes holds no records"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Public API.
+    # ------------------------------------------------------------------ #
+    def join(
+        self, left: PersistentCollection, right: PersistentCollection
+    ) -> JoinResult:
+        """Join ``left`` (the smaller input, T) with ``right`` (V)."""
+        device = self.backend.device
+        before = device.snapshot()
+        result = self._execute(left, right)
+        result.io = device.snapshot() - before
+        return result
+
+    def estimated_cost_ns(
+        self, left_buffers: float, right_buffers: float
+    ) -> float:
+        """Analytical Section 2.2 cost estimate, in nanoseconds."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not provide a cost model"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Helpers for subclasses.
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def _execute(
+        self, left: PersistentCollection, right: PersistentCollection
+    ) -> JoinResult:
+        """Run the algorithm; the caller handles I/O snapshotting."""
+
+    def _make_output(self, left_name: str, right_name: str) -> PersistentCollection:
+        name = (
+            f"{left_name}-join-{right_name}-{self.short_name.lower()}"
+            f"-{next(_join_output_counter)}"
+        )
+        if self.materialize_output:
+            return PersistentCollection(
+                name=name,
+                backend=self.backend,
+                schema=self.output_schema,
+                status=CollectionStatus.MATERIALIZED,
+            )
+        return PersistentCollection(
+            name=name,
+            backend=None,
+            schema=self.output_schema,
+            status=CollectionStatus.MEMORY,
+        )
+
+    def num_partitions_for(self, left: PersistentCollection) -> int:
+        """Partition count so each left partition's hash table fits in DRAM."""
+        capacity = max(
+            1, int(self.left_workspace_records / self.partition_fudge_factor)
+        )
+        return max(1, -(-len(left) // capacity))  # ceiling division
+
+    @property
+    def memory_buffers(self) -> float:
+        """The DRAM budget in cachelines: the paper's M."""
+        return self.budget.buffers
+
+    @property
+    def left_key(self):
+        return self.left_schema.key
+
+    @property
+    def right_key(self):
+        return self.right_schema.key
+
+    def combine(self, left_record: tuple, right_record: tuple) -> tuple:
+        """Concatenate a matching pair into one output record."""
+        return left_record + right_record
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"{type(self).__name__}(workspace_records={self.left_workspace_records}, "
+            f"backend={self.backend.name})"
+        )

@@ -1,0 +1,53 @@
+"""Shared helpers for the join algorithms."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Iterable
+
+from repro.exceptions import ConfigurationError
+from repro.storage.schema import Schema
+
+#: Knuth's multiplicative constant; decorrelates partition assignment from
+#: the synthetic key generators used by the workloads.
+_HASH_MULTIPLIER = 2654435761
+_HASH_MASK = (1 << 32) - 1
+
+
+def partition_of(key: int, num_partitions: int) -> int:
+    """Deterministic hash partition of a join key."""
+    if num_partitions <= 0:
+        raise ConfigurationError("number of partitions must be positive")
+    return ((key * _HASH_MULTIPLIER) & _HASH_MASK) % num_partitions
+
+
+def build_hash_table(
+    records: Iterable[tuple], key_fn: Callable[[tuple], int]
+) -> dict[int, list[tuple]]:
+    """In-memory hash table from join key to the records carrying it."""
+    table: dict[int, list[tuple]] = defaultdict(list)
+    for record in records:
+        table[key_fn(record)].append(record)
+    return dict(table)
+
+
+def probe(
+    table: dict[int, list[tuple]],
+    record: tuple,
+    key_fn: Callable[[tuple], int],
+) -> list[tuple]:
+    """Records in ``table`` that match ``record``'s key (possibly empty)."""
+    return table.get(key_fn(record), [])
+
+
+def joined_schema(left: Schema, right: Schema) -> Schema:
+    """Schema of the concatenated join output record."""
+    if left.field_bytes != right.field_bytes:
+        raise ConfigurationError(
+            "join inputs must share a field width to concatenate records"
+        )
+    return Schema(
+        num_fields=left.num_fields + right.num_fields,
+        field_bytes=left.field_bytes,
+        key_index=left.key_index,
+    )

@@ -1,0 +1,110 @@
+"""Grace hash join (the paper's ``GJ``).
+
+The symmetric-I/O baseline for partitioned joins: both inputs are fully
+scanned and hash-partitioned onto persistent memory, then every partition
+pair is read back, a hash table is built over the left partition and the
+right partition probes it.  Total cost r (2 + λ)(|T| + |V|) plus the
+output.
+"""
+
+from __future__ import annotations
+
+from repro.joins import cost
+from repro.joins.base import JoinAlgorithm, JoinResult
+from repro.joins.common import build_hash_table, partition_of, probe
+from repro.storage.collection import CollectionStatus, PersistentCollection
+
+
+def partition_collection(
+    collection: PersistentCollection,
+    num_partitions: int,
+    key_fn,
+    backend,
+    prefix: str,
+    start: int = 0,
+    stop: int | None = None,
+    partition_filter=None,
+) -> tuple[list[PersistentCollection], int]:
+    """Hash-partition a slice of ``collection`` into materialized partitions.
+
+    ``partition_filter`` restricts which partition indexes are physically
+    written (segmented Grace join materializes only some); records hashing
+    to unmaterialized partitions are simply not written.  Returns the list
+    of partition collections (entries are ``None`` for skipped partitions)
+    and the number of records scanned.
+    """
+    partitions: list[PersistentCollection | None] = []
+    for index in range(num_partitions):
+        if partition_filter is not None and not partition_filter(index):
+            partitions.append(None)
+            continue
+        partitions.append(
+            PersistentCollection(
+                name=f"{prefix}-p{index}",
+                backend=backend,
+                schema=collection.schema,
+                status=CollectionStatus.MATERIALIZED,
+            )
+        )
+    scanned = 0
+    for record in collection.scan(start=start, stop=stop):
+        scanned += 1
+        index = partition_of(key_fn(record), num_partitions)
+        target = partitions[index]
+        if target is not None:
+            target.append(record)
+    for partition in partitions:
+        if partition is not None:
+            partition.seal()
+    return partitions, scanned
+
+
+class GraceJoin(JoinAlgorithm):
+    """Standard Grace hash join."""
+
+    short_name = "GJ"
+    write_limited = False
+
+    def _execute(
+        self, left: PersistentCollection, right: PersistentCollection
+    ) -> JoinResult:
+        output = self._make_output(left.name, right.name)
+        if len(left) == 0 or len(right) == 0:
+            output.seal()
+            return JoinResult(output=output, io=None)
+
+        num_partitions = self.num_partitions_for(left)
+        left_parts, _ = partition_collection(
+            left,
+            num_partitions,
+            self.left_key,
+            self.backend,
+            prefix=f"{output.name}-L",
+        )
+        right_parts, _ = partition_collection(
+            right,
+            num_partitions,
+            self.right_key,
+            self.backend,
+            prefix=f"{output.name}-R",
+        )
+        for left_part, right_part in zip(left_parts, right_parts):
+            table = build_hash_table(left_part.scan(), self.left_key)
+            for right_record in right_part.scan():
+                for left_record in probe(table, right_record, self.right_key):
+                    output.append(self.combine(left_record, right_record))
+        output.seal()
+        return JoinResult(
+            output=output,
+            io=None,
+            partitions=num_partitions,
+            iterations=num_partitions,
+        )
+
+    def estimated_cost_ns(self, left_buffers: float, right_buffers: float) -> float:
+        return cost.grace_join_cost(
+            left_buffers,
+            right_buffers,
+            read_cost=self.backend.device.latency.read_ns,
+            lam=self.backend.device.write_read_ratio,
+        )

@@ -1,0 +1,89 @@
+"""Simple hash join (the paper's ``HJ``).
+
+The join runs in k = |T|/M iterations.  In iteration i both inputs are
+scanned: records of partition i are processed in memory (build on the left,
+probe on the right), every other record is written back to a shrinking
+backing-store collection that becomes the next iteration's input
+(Table 1, "Standard hash join" columns).
+"""
+
+from __future__ import annotations
+
+from repro.joins import cost
+from repro.joins.base import JoinAlgorithm, JoinResult
+from repro.joins.common import build_hash_table, partition_of, probe
+from repro.storage.collection import CollectionStatus, PersistentCollection
+
+
+class SimpleHashJoin(JoinAlgorithm):
+    """Iterative hash join that offloads non-current partitions every pass."""
+
+    short_name = "HJ"
+    write_limited = False
+
+    def _execute(
+        self, left: PersistentCollection, right: PersistentCollection
+    ) -> JoinResult:
+        output = self._make_output(left.name, right.name)
+        if len(left) == 0 or len(right) == 0:
+            output.seal()
+            return JoinResult(output=output, io=None)
+
+        num_partitions = max(
+            1, -(-len(left) // self.left_workspace_records)
+        )
+        left_source, right_source = left, right
+        iterations = 0
+        for index in range(num_partitions):
+            iterations += 1
+            is_last = index == num_partitions - 1
+            left_next = right_next = None
+            if not is_last:
+                left_next = PersistentCollection(
+                    name=f"{output.name}-hj-L{index + 1}",
+                    backend=self.backend,
+                    schema=self.left_schema,
+                    status=CollectionStatus.MATERIALIZED,
+                )
+                right_next = PersistentCollection(
+                    name=f"{output.name}-hj-R{index + 1}",
+                    backend=self.backend,
+                    schema=self.right_schema,
+                    status=CollectionStatus.MATERIALIZED,
+                )
+            table: dict[int, list[tuple]] = {}
+            build: list[tuple] = []
+            for record in left_source.scan():
+                partition = partition_of(self.left_key(record), num_partitions)
+                if partition == index:
+                    build.append(record)
+                elif left_next is not None and partition > index:
+                    left_next.append(record)
+            table = build_hash_table(build, self.left_key)
+            for record in right_source.scan():
+                partition = partition_of(self.right_key(record), num_partitions)
+                if partition == index:
+                    for left_record in probe(table, record, self.right_key):
+                        output.append(self.combine(left_record, record))
+                elif right_next is not None and partition > index:
+                    right_next.append(record)
+            if not is_last:
+                left_next.seal()
+                right_next.seal()
+                left_source, right_source = left_next, right_next
+        output.seal()
+        return JoinResult(
+            output=output,
+            io=None,
+            partitions=num_partitions,
+            iterations=iterations,
+        )
+
+    def estimated_cost_ns(self, left_buffers: float, right_buffers: float) -> float:
+        return cost.hash_join_cost(
+            left_buffers,
+            right_buffers,
+            self.memory_buffers,
+            read_cost=self.backend.device.latency.read_ns,
+            lam=self.backend.device.write_read_ratio,
+        )

@@ -1,0 +1,102 @@
+"""Lazy hash join (the paper's ``LaJ``, Section 2.2.3).
+
+Lazy hash join follows the iteration structure of simple hash join but,
+instead of writing back the records that do not belong to the current
+partition, it re-reads the whole input on the next iteration.  It tracks
+the rescan penalty against the write savings and, once the penalty
+catches up (Eq. 11; see :func:`repro.joins.cost.lazy_hash_materialization_iteration`
+for the corrected closed form), it materializes the still-unprocessed
+remainder as new, smaller inputs and reverts to being lazy.
+"""
+
+from __future__ import annotations
+
+from repro.joins import cost
+from repro.joins.base import JoinAlgorithm, JoinResult
+from repro.joins.common import build_hash_table, partition_of, probe
+from repro.storage.collection import CollectionStatus, PersistentCollection
+
+
+class LazyHashJoin(JoinAlgorithm):
+    """Hash join that trades intermediate writes for input rescans."""
+
+    short_name = "LaJ"
+    write_limited = True
+
+    def _execute(
+        self, left: PersistentCollection, right: PersistentCollection
+    ) -> JoinResult:
+        output = self._make_output(left.name, right.name)
+        if len(left) == 0 or len(right) == 0:
+            output.seal()
+            return JoinResult(output=output, io=None)
+
+        lam = self.backend.device.write_read_ratio
+        num_partitions = max(1, -(-len(left) // self.left_workspace_records))
+        left_source, right_source = left, right
+        iterations = 0
+        lazy_iterations = 0
+        materializations = 0
+
+        for index in range(num_partitions):
+            iterations += 1
+            lazy_iterations += 1
+            remaining = num_partitions - index
+            threshold = max(
+                1, cost.lazy_hash_materialization_iteration(remaining, lam)
+            )
+            materialize = lazy_iterations >= threshold and remaining > 1
+            left_next = right_next = None
+            if materialize:
+                materializations += 1
+                left_next = PersistentCollection(
+                    name=f"{output.name}-laj-L{materializations}",
+                    backend=self.backend,
+                    schema=self.left_schema,
+                    status=CollectionStatus.MATERIALIZED,
+                )
+                right_next = PersistentCollection(
+                    name=f"{output.name}-laj-R{materializations}",
+                    backend=self.backend,
+                    schema=self.right_schema,
+                    status=CollectionStatus.MATERIALIZED,
+                )
+
+            build: list[tuple] = []
+            for record in left_source.scan():
+                partition = partition_of(self.left_key(record), num_partitions)
+                if partition == index:
+                    build.append(record)
+                elif partition > index and left_next is not None:
+                    left_next.append(record)
+            table = build_hash_table(build, self.left_key)
+            for record in right_source.scan():
+                partition = partition_of(self.right_key(record), num_partitions)
+                if partition == index:
+                    for left_record in probe(table, record, self.right_key):
+                        output.append(self.combine(left_record, record))
+                elif partition > index and right_next is not None:
+                    right_next.append(record)
+
+            if materialize:
+                left_next.seal()
+                right_next.seal()
+                left_source, right_source = left_next, right_next
+                lazy_iterations = 0
+        output.seal()
+        return JoinResult(
+            output=output,
+            io=None,
+            partitions=num_partitions,
+            iterations=iterations,
+            details={"intermediate_materializations": materializations},
+        )
+
+    def estimated_cost_ns(self, left_buffers: float, right_buffers: float) -> float:
+        return cost.lazy_hash_join_cost(
+            left_buffers,
+            right_buffers,
+            self.memory_buffers,
+            read_cost=self.backend.device.latency.read_ns,
+            lam=self.backend.device.write_read_ratio,
+        )

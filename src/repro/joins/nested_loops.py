@@ -1,0 +1,62 @@
+"""Block nested-loops join (the paper's ``NLJ``).
+
+The read-only baseline: the smaller input is consumed in DRAM-sized
+blocks; for every block the larger input is scanned in full.  The only
+persistent-memory writes are those of the join output itself, which makes
+NLJ the floor against which the write-limited joins compare their write
+counts.
+"""
+
+from __future__ import annotations
+
+from repro.joins import cost
+from repro.joins.base import JoinAlgorithm, JoinResult
+from repro.joins.common import build_hash_table, probe
+from repro.storage.collection import PersistentCollection
+
+
+class NestedLoopsJoin(JoinAlgorithm):
+    """Block nested-loops equi-join."""
+
+    short_name = "NLJ"
+    write_limited = False
+
+    def _execute(
+        self, left: PersistentCollection, right: PersistentCollection
+    ) -> JoinResult:
+        output = self._make_output(left.name, right.name)
+        total_left = len(left)
+        if total_left == 0 or len(right) == 0:
+            output.seal()
+            return JoinResult(output=output, io=None)
+
+        block_records = self.left_workspace_records
+        iterations = 0
+        for block_start in range(0, total_left, block_records):
+            iterations += 1
+            block = list(
+                left.scan(start=block_start, stop=block_start + block_records)
+            )
+            # Hashing the block is a DRAM-side optimization: the I/O profile
+            # is identical to tuple-at-a-time nested loops, only the Python
+            # CPU time changes.
+            table = build_hash_table(block, self.left_key)
+            for right_record in right.scan():
+                for left_record in probe(table, right_record, self.right_key):
+                    output.append(self.combine(left_record, right_record))
+        output.seal()
+        return JoinResult(
+            output=output,
+            io=None,
+            partitions=0,
+            iterations=iterations,
+        )
+
+    def estimated_cost_ns(self, left_buffers: float, right_buffers: float) -> float:
+        return cost.nested_loops_cost(
+            left_buffers,
+            right_buffers,
+            self.memory_buffers,
+            read_cost=self.backend.device.latency.read_ns,
+            lam=self.backend.device.write_read_ratio,
+        )

@@ -1,0 +1,130 @@
+"""Segmented Grace join (the paper's ``SegJ``, Section 2.2.2).
+
+Instead of choosing a fraction of each *input* (as hybrid join does), the
+algorithm operates at the partition level: of the k hash partitions, only
+x are materialized and processed Grace-style; the remaining k − x are
+processed by repeatedly re-scanning both inputs and filtering on the fly,
+trading writes for reads.  Eq. 10 bounds the x for which this beats plain
+Grace join; regardless, x is a direct write-intensity knob.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ConfigurationError
+from repro.joins import cost
+from repro.joins.base import JoinAlgorithm, JoinResult
+from repro.joins.common import build_hash_table, partition_of, probe
+from repro.joins.grace_join import partition_collection
+from repro.storage.collection import PersistentCollection
+
+#: Default fraction of partitions materialized.
+DEFAULT_MATERIALIZED_FRACTION = 0.5
+
+
+class SegmentedGraceJoin(JoinAlgorithm):
+    """Grace join that materializes only a chosen share of its partitions.
+
+    Args:
+        write_intensity: fraction of the k partitions that are materialized
+            (0 means a fully lazy, re-scanning join; 1 means plain Grace
+            join).
+    """
+
+    short_name = "SegJ"
+    write_limited = True
+
+    def __init__(
+        self,
+        *args,
+        write_intensity: float = DEFAULT_MATERIALIZED_FRACTION,
+        **kwargs,
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        if not 0.0 <= write_intensity <= 1.0:
+            raise ConfigurationError(
+                f"write intensity must lie in [0, 1], got {write_intensity}"
+            )
+        self.write_intensity = write_intensity
+
+    def _execute(
+        self, left: PersistentCollection, right: PersistentCollection
+    ) -> JoinResult:
+        output = self._make_output(left.name, right.name)
+        if len(left) == 0 or len(right) == 0:
+            output.seal()
+            return JoinResult(output=output, io=None)
+
+        num_partitions = self.num_partitions_for(left)
+        materialized = int(round(num_partitions * self.write_intensity))
+        materialized = min(max(materialized, 0), num_partitions)
+
+        def is_materialized(index: int) -> bool:
+            return index < materialized
+
+        # Phase 1: single scan of both inputs, materializing only the
+        # selected partitions; records of the other partitions are skipped.
+        left_parts, _ = partition_collection(
+            left,
+            num_partitions,
+            self.left_key,
+            self.backend,
+            prefix=f"{output.name}-L",
+            partition_filter=is_materialized,
+        )
+        right_parts, _ = partition_collection(
+            right,
+            num_partitions,
+            self.right_key,
+            self.backend,
+            prefix=f"{output.name}-R",
+            partition_filter=is_materialized,
+        )
+
+        # Phase 2: Grace-style processing of the materialized partitions.
+        for index in range(materialized):
+            table = build_hash_table(left_parts[index].scan(), self.left_key)
+            for record in right_parts[index].scan():
+                for match in probe(table, record, self.right_key):
+                    output.append(self.combine(match, record))
+
+        # Phase 3: the remaining partitions are processed by re-scanning the
+        # primary inputs and filtering on the fly.
+        rescans = 0
+        for index in range(materialized, num_partitions):
+            rescans += 1
+            build = [
+                record
+                for record in left.scan()
+                if partition_of(self.left_key(record), num_partitions) == index
+            ]
+            table = build_hash_table(build, self.left_key)
+            for record in right.scan():
+                if partition_of(self.right_key(record), num_partitions) != index:
+                    continue
+                for match in probe(table, record, self.right_key):
+                    output.append(self.combine(match, record))
+
+        output.seal()
+        return JoinResult(
+            output=output,
+            io=None,
+            partitions=num_partitions,
+            iterations=num_partitions,
+            details={
+                "write_intensity": self.write_intensity,
+                "materialized_partitions": materialized,
+                "rescans": rescans,
+            },
+        )
+
+    def estimated_cost_ns(self, left_buffers: float, right_buffers: float) -> float:
+        memory = max(self.memory_buffers, 2.0)
+        num_partitions = max(1.0, left_buffers / memory)
+        return cost.segmented_grace_cost(
+            self.write_intensity * num_partitions,
+            left_buffers,
+            right_buffers,
+            num_partitions,
+            read_cost=self.backend.device.latency.read_ns,
+            lam=self.backend.device.write_read_ratio,
+        )

@@ -1,0 +1,24 @@
+"""Simulated persistent-memory substrate.
+
+The paper evaluates its algorithms on real hardware with artificial
+latencies injected after every cacheline access (10 ns reads, 150 ns
+writes).  This package substitutes that testbed with a discrete cost
+simulator: every byte moved to or from the simulated device advances a
+simulated clock according to a configurable :class:`~repro.pmem.latency.LatencyModel`
+and is tallied in cacheline-granular read/write counters.
+
+The package also provides the four persistence-layer implementations of
+Section 3.2 of the paper under :mod:`repro.pmem.backends`.
+"""
+
+from repro.pmem.latency import LatencyModel
+from repro.pmem.metrics import IOCounters, IOSnapshot
+from repro.pmem.device import DeviceGeometry, PersistentMemoryDevice
+
+__all__ = [
+    "LatencyModel",
+    "IOCounters",
+    "IOSnapshot",
+    "DeviceGeometry",
+    "PersistentMemoryDevice",
+]

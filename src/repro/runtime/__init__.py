@@ -1,0 +1,36 @@
+"""Deferred-materialization runtime (Section 3.1 of the paper).
+
+The runtime exposes four primitives -- ``split``, ``partition``,
+``filter`` and ``merge`` -- through an :class:`~repro.runtime.context.OperatorContext`.
+Calls are recorded in a control-flow graph rather than executed eagerly;
+collections default to *deferred* and are materialized only when the
+rule engine decides that writing them is cheaper than re-deriving them
+from their ancestors.
+"""
+
+from repro.runtime.api import (
+    CallKind,
+    FilterCall,
+    MergeCall,
+    PartitionCall,
+    SplitCall,
+)
+from repro.runtime.graph import CallNode, ControlFlowGraph
+from repro.runtime.rules import MaterializationDecision, RuleEngine
+from repro.runtime.context import OperatorContext
+from repro.runtime.operators import Operator, SegmentedGraceJoinOperator
+
+__all__ = [
+    "CallKind",
+    "SplitCall",
+    "PartitionCall",
+    "FilterCall",
+    "MergeCall",
+    "CallNode",
+    "ControlFlowGraph",
+    "MaterializationDecision",
+    "RuleEngine",
+    "OperatorContext",
+    "Operator",
+    "SegmentedGraceJoinOperator",
+]

@@ -1,0 +1,400 @@
+"""The operator context: recording, assessing and producing collections.
+
+The operator context is the paper's ``OpCtx`` (Listing 1 and 2).  It owns
+the control-flow graph for one operator, exposes the four API primitives,
+and makes the materialization decisions when collections are opened:
+
+* :meth:`OperatorContext.assess` runs the rule engine over a deferred
+  collection and, when the verdict is to materialize, promotes it (and its
+  partition siblings, per the eager-partition rule).
+* :meth:`OperatorContext.produce` fills a promoted collection by replaying
+  the derivation chain from its nearest available ancestors, charging the
+  corresponding reads and writes.
+* :meth:`OperatorContext.reconstruct` streams a deferred collection's
+  records without writing them anywhere, which is how laziness actually
+  saves writes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator
+
+from repro.exceptions import (
+    ConfigurationError,
+    GraphConsistencyError,
+    UnknownCollectionError,
+)
+from repro.pmem.backends.base import PersistenceBackend
+from repro.runtime.api import CallKind, FilterCall, MergeCall, PartitionCall, SplitCall
+from repro.runtime.graph import ControlFlowGraph
+from repro.runtime.rules import MaterializationDecision, RuleEngine
+from repro.storage.collection import CollectionStatus, PersistentCollection
+from repro.storage.schema import Schema, WISCONSIN_SCHEMA
+
+
+class OperatorContext:
+    """Runtime context shared by the collections of one physical operator."""
+
+    def __init__(
+        self,
+        backend: PersistenceBackend,
+        schema: Schema = WISCONSIN_SCHEMA,
+        rules: RuleEngine | None = None,
+        name_prefix: str = "ctx",
+    ) -> None:
+        self.backend = backend
+        self.schema = schema
+        self.rules = rules or RuleEngine()
+        self.graph = ControlFlowGraph()
+        self._name_prefix = name_prefix
+        self._names = itertools.count()
+        self._collections: dict[str, PersistentCollection] = {}
+        self._produced: set[str] = set()
+        self._expected_records: dict[str, int] = {}
+        self._process_count_hints: dict[str, int] = {}
+        self._accumulated_read_ns: dict[str, float] = {}
+        self.decisions: list[MaterializationDecision] = []
+
+    # ------------------------------------------------------------------ #
+    # Collection management.
+    # ------------------------------------------------------------------ #
+    def create_name(self, prefix: str | None = None) -> str:
+        """A unique collection identifier (the paper's ``create_name()``)."""
+        return f"{prefix or self._name_prefix}-{next(self._names)}"
+
+    def declare(
+        self,
+        name: str | None = None,
+        status: CollectionStatus = CollectionStatus.DEFERRED,
+        schema: Schema | None = None,
+        expected_records: int | None = None,
+    ) -> PersistentCollection:
+        """Declare a collection managed by this context."""
+        collection = PersistentCollection(
+            name=name or self.create_name(),
+            backend=self.backend,
+            schema=schema or self.schema,
+            status=status,
+            context=self,
+        )
+        return self.register(collection, expected_records=expected_records)
+
+    def register(
+        self,
+        collection: PersistentCollection,
+        expected_records: int | None = None,
+    ) -> PersistentCollection:
+        """Adopt an existing collection (e.g. a primary input) into the context."""
+        if collection.name in self._collections:
+            raise ConfigurationError(
+                f"collection {collection.name!r} already registered"
+            )
+        collection.context = self
+        self._collections[collection.name] = collection
+        self.graph.add_collection(collection.name)
+        if expected_records is not None:
+            self._expected_records[collection.name] = expected_records
+        if collection.records or not collection.is_deferred:
+            self._produced.add(collection.name)
+        return collection
+
+    def collection(self, name: str) -> PersistentCollection:
+        try:
+            return self._collections[name]
+        except KeyError:
+            raise UnknownCollectionError(
+                f"context has no collection named {name!r}"
+            ) from None
+
+    def collections(self) -> list[PersistentCollection]:
+        return list(self._collections.values())
+
+    def set_process_count_hint(self, name: str, count: int) -> None:
+        """Tell the multi-process rule how often a collection will be read."""
+        if count < 0:
+            raise ConfigurationError("process count must be non-negative")
+        self._process_count_hints[name] = count
+
+    # ------------------------------------------------------------------ #
+    # The four API primitives.
+    # ------------------------------------------------------------------ #
+    def split(
+        self,
+        source: PersistentCollection,
+        position: int,
+        low: PersistentCollection | None = None,
+        high: PersistentCollection | None = None,
+    ) -> tuple[PersistentCollection, PersistentCollection]:
+        """``split(T, n, Tl, Th)``: record a split of ``source`` at ``position``."""
+        self._ensure_registered(source)
+        low = low or self.declare(expected_records=position)
+        high = high or self.declare(
+            expected_records=max(0, self._expected(source.name) - position)
+        )
+        descriptor = SplitCall(position=position)
+        self.graph.add_call(descriptor, (source.name,), (low.name, high.name))
+        self._expected_records.setdefault(low.name, position)
+        self._expected_records.setdefault(
+            high.name, max(0, self._expected(source.name) - position)
+        )
+        return low, high
+
+    def partition(
+        self,
+        source: PersistentCollection,
+        partition_fn,
+        num_partitions: int,
+        outputs: list[PersistentCollection] | None = None,
+        expected_sizes: list[int] | None = None,
+    ) -> list[PersistentCollection]:
+        """``partition(T, h(), k, <Ti>, <si>)``: record a hash partitioning."""
+        self._ensure_registered(source)
+        if outputs is None:
+            outputs = [self.declare() for _ in range(num_partitions)]
+        if len(outputs) != num_partitions:
+            raise ConfigurationError(
+                "partition needs exactly one output collection per partition"
+            )
+        for output in outputs:
+            self._ensure_registered(output)
+        descriptor = PartitionCall(
+            partition_fn=partition_fn,
+            num_partitions=num_partitions,
+            expected_sizes=tuple(expected_sizes) if expected_sizes else None,
+        )
+        self.graph.add_call(
+            descriptor, (source.name,), tuple(o.name for o in outputs)
+        )
+        source_records = self._expected(source.name)
+        for index, output in enumerate(outputs):
+            self._expected_records.setdefault(
+                output.name, descriptor.expected_size(index, source_records)
+            )
+        return outputs
+
+    def filter(
+        self,
+        source: PersistentCollection,
+        predicate,
+        selectivity: float = 1.0,
+        output: PersistentCollection | None = None,
+    ) -> PersistentCollection:
+        """``filter(T, p(), f, Tp)``: record a filtering of ``source``."""
+        self._ensure_registered(source)
+        descriptor = FilterCall(predicate=predicate, selectivity=selectivity)
+        output = output or self.declare(
+            expected_records=descriptor.expected_size(self._expected(source.name))
+        )
+        self._ensure_registered(output)
+        self.graph.add_call(descriptor, (source.name,), (output.name,))
+        self._expected_records.setdefault(
+            output.name, descriptor.expected_size(self._expected(source.name))
+        )
+        return output
+
+    def merge(
+        self,
+        left: PersistentCollection,
+        right: PersistentCollection,
+        merge_fn,
+        output: PersistentCollection,
+    ) -> PersistentCollection:
+        """``merge(Tl, Tr, m(), T)``: record and execute a merge.
+
+        The merge function drives the computation (it is the paper's
+        functor that opens its inputs, triggering assessment and
+        production), so unlike the other primitives it runs eagerly.
+        """
+        self._ensure_registered(left)
+        self._ensure_registered(right)
+        self._ensure_registered(output)
+        descriptor = MergeCall(merge_fn=merge_fn)
+        self.graph.add_call(descriptor, (left.name, right.name), ())
+        merge_fn(left, right, output)
+        return output
+
+    # ------------------------------------------------------------------ #
+    # Assess / produce / reconstruct (the Collection.open protocol).
+    # ------------------------------------------------------------------ #
+    def assess(self, name: str) -> MaterializationDecision:
+        """Run the rule engine on a deferred collection."""
+        collection = self.collection(name)
+        decision = self.rules.assess(name, self)
+        self.decisions.append(decision)
+        if decision.materialize:
+            collection.mark_materialized()
+            producer = self.graph.producer_of(name)
+            if producer is not None and producer.kind is CallKind.PARTITION:
+                producer.group_decision = "materialize"
+        return decision
+
+    def is_pending(self, name: str) -> bool:
+        """Materialized (or promoted) but records not yet produced."""
+        return name not in self._produced
+
+    def is_available(self, name: str) -> bool:
+        """Records are present and can be scanned without re-derivation."""
+        if name not in self._collections:
+            return False
+        collection = self._collections[name]
+        if collection.is_deferred:
+            return False
+        return name in self._produced
+
+    def produce(self, name: str) -> None:
+        """Fill a promoted collection by replaying its derivation chain."""
+        if self.is_available(name):
+            return
+        collection = self.collection(name)
+        if collection.is_deferred:
+            raise GraphConsistencyError(
+                f"collection {name!r} is still deferred; assess it first"
+            )
+        producer = self.graph.producer_of(name)
+        if producer is None:
+            raise GraphConsistencyError(
+                f"collection {name!r} has no producer call and no records"
+            )
+        if (
+            producer.kind is CallKind.PARTITION
+            and producer.group_decision == "materialize"
+        ):
+            # The runtime never scans an input twice to materialize the
+            # outputs of one call: all promoted siblings are produced in the
+            # same pass over the source.
+            self._produce_partition_group(producer)
+            return
+        for record in self._derive(name):
+            collection.append(record)
+        collection.flush()
+        self._produced.add(name)
+
+    def reconstruct(
+        self, name: str, start: int = 0, stop: int | None = None
+    ) -> Iterator[tuple]:
+        """Stream a deferred collection's records without materializing them."""
+        iterator = self._derive(name)
+        sliced = itertools.islice(iterator, start, stop)
+        yield from sliced
+
+    # ------------------------------------------------------------------ #
+    # Cost bookkeeping used by the rules.
+    # ------------------------------------------------------------------ #
+    @property
+    def write_read_ratio(self) -> float:
+        return self.backend.device.write_read_ratio
+
+    def expected_process_count(self, name: str) -> int:
+        return self._process_count_hints.get(name, 0)
+
+    def estimated_cardinality(self, name: str) -> int:
+        collection = self._collections.get(name)
+        if collection is not None and (collection.records or self.is_available(name)):
+            return len(collection.records)
+        return self._expected(name)
+
+    def estimated_write_cost(self, name: str) -> float:
+        """Cost (ns) of materializing the collection once."""
+        records = self.estimated_cardinality(name)
+        nbytes = records * self.collection(name).schema.record_bytes
+        cachelines = self.backend.device.geometry.bytes_to_cachelines(nbytes)
+        return self.backend.device.latency.write_cost_ns(cachelines)
+
+    def estimated_construction_read_cost(self, name: str) -> float:
+        """Cost (ns) of reading the inputs needed to build the collection once."""
+        producer = self.graph.producer_of(name)
+        if producer is None:
+            return 0.0
+        total = 0.0
+        for parent in producer.inputs:
+            records = self.estimated_cardinality(parent)
+            nbytes = records * self.collection(parent).schema.record_bytes
+            cachelines = self.backend.device.geometry.bytes_to_cachelines(nbytes)
+            total += self.backend.device.latency.read_cost_ns(cachelines)
+        return total
+
+    def accumulated_read_cost(self, names) -> float:
+        """Read cost already spent scanning the named collections (ns)."""
+        return sum(self._accumulated_read_ns.get(name, 0.0) for name in names)
+
+    # ------------------------------------------------------------------ #
+    # Internal helpers.
+    # ------------------------------------------------------------------ #
+    def _ensure_registered(self, collection: PersistentCollection) -> None:
+        if collection.name not in self._collections:
+            self.register(collection)
+
+    def _expected(self, name: str) -> int:
+        collection = self._collections.get(name)
+        if collection is not None and (collection.records or self.is_available(name)):
+            return len(collection.records)
+        return self._expected_records.get(name, 0)
+
+    def _source_stream(self, name: str) -> Iterator[tuple]:
+        """Records of a collection, derived recursively when necessary."""
+        collection = self.collection(name)
+        if self.is_available(name):
+            # Scanning an available source for reconstruction accumulates
+            # read cost against it (input to the read-over-write rule).
+            nbytes = len(collection.records) * collection.schema.record_bytes
+            cachelines = self.backend.device.geometry.bytes_to_cachelines(nbytes)
+            self._accumulated_read_ns[name] = self._accumulated_read_ns.get(
+                name, 0.0
+            ) + self.backend.device.latency.read_cost_ns(cachelines)
+            return collection.scan()
+        return self._derive(name)
+
+    def _derive(self, name: str) -> Iterator[tuple]:
+        """Generator producing the records of ``name`` from its ancestors."""
+        producer = self.graph.producer_of(name)
+        if producer is None:
+            raise GraphConsistencyError(
+                f"collection {name!r} has no producer and no records; "
+                "cannot derive it"
+            )
+        descriptor = producer.descriptor
+        if producer.kind is CallKind.MERGE:
+            raise GraphConsistencyError(
+                "merge outputs are append targets and cannot be re-derived "
+                f"lazily (collection {name!r})"
+            )
+        source_name = producer.inputs[0]
+        source = self._source_stream(source_name)
+        if producer.kind is CallKind.SPLIT:
+            start, stop = descriptor.output_slice(producer.output_index(name))
+            yield from itertools.islice(source, start, stop)
+        elif producer.kind is CallKind.PARTITION:
+            index = producer.output_index(name)
+            for record in source:
+                if descriptor.partition_fn(record) == index:
+                    yield record
+        elif producer.kind is CallKind.FILTER:
+            for record in source:
+                if descriptor.predicate(record):
+                    yield record
+        else:  # pragma: no cover - defensive; all kinds handled above
+            raise GraphConsistencyError(f"unsupported call kind {producer.kind}")
+
+    def _produce_partition_group(self, call) -> None:
+        """Materialize every promoted output of one partition call in one scan."""
+        descriptor = call.descriptor
+        targets: dict[int, PersistentCollection] = {}
+        for index, output_name in enumerate(call.outputs):
+            output = self.collection(output_name)
+            if output.is_deferred:
+                # Promote the remaining siblings: the eager-partition rule.
+                output.mark_materialized()
+            if not self.is_available(output_name):
+                targets[index] = output
+        if not targets:
+            return
+        source_name = call.inputs[0]
+        for record in self._source_stream(source_name):
+            index = descriptor.partition_fn(record)
+            target = targets.get(index)
+            if target is not None:
+                target.append(record)
+        for output in targets.values():
+            output.flush()
+            self._produced.add(output.name)

@@ -1,0 +1,173 @@
+"""Control-flow graph of collections and API calls.
+
+The runtime tracks dependencies between collections with a bipartite
+graph (Section 3.1, Figure 4): collection nodes connect to the API call
+nodes that consume them, and call nodes connect to the collections they
+produce.  The graph is what allows a deferred collection to be
+reconstructed on demand by walking back to its oldest materialized
+ancestor and replaying the calls along the way.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.exceptions import GraphConsistencyError
+from repro.runtime.api import CallKind
+
+
+@dataclass
+class CallNode:
+    """One recorded API call."""
+
+    call_id: int
+    descriptor: object  # SplitCall | PartitionCall | FilterCall | MergeCall
+    inputs: tuple[str, ...]
+    outputs: tuple[str, ...]
+    #: Set once the runtime decides the call's outputs as a group (the
+    #: eager-partition rule forces a single decision per partition call).
+    group_decision: str | None = None
+
+    @property
+    def kind(self) -> CallKind:
+        return self.descriptor.kind
+
+    def output_index(self, name: str) -> int:
+        try:
+            return self.outputs.index(name)
+        except ValueError:
+            raise GraphConsistencyError(
+                f"collection {name!r} is not an output of call {self.call_id}"
+            ) from None
+
+
+class ControlFlowGraph:
+    """Bipartite dependency graph between collections and API calls."""
+
+    def __init__(self) -> None:
+        self._calls: dict[int, CallNode] = {}
+        self._producer: dict[str, int] = {}
+        self._consumers: dict[str, list[int]] = {}
+        self._collections: set[str] = set()
+        self._ids = itertools.count()
+
+    # ------------------------------------------------------------------ #
+    # Construction.
+    # ------------------------------------------------------------------ #
+    def add_collection(self, name: str) -> None:
+        self._collections.add(name)
+
+    def add_call(
+        self,
+        descriptor,
+        inputs: tuple[str, ...],
+        outputs: tuple[str, ...],
+    ) -> CallNode:
+        """Record an API call; every output may have only one producer."""
+        for name in outputs:
+            if name in self._producer:
+                raise GraphConsistencyError(
+                    f"collection {name!r} already has a producer call"
+                )
+        call = CallNode(
+            call_id=next(self._ids),
+            descriptor=descriptor,
+            inputs=tuple(inputs),
+            outputs=tuple(outputs),
+        )
+        self._calls[call.call_id] = call
+        for name in inputs:
+            self.add_collection(name)
+            self._consumers.setdefault(name, []).append(call.call_id)
+        for name in outputs:
+            self.add_collection(name)
+            self._producer[name] = call.call_id
+        return call
+
+    # ------------------------------------------------------------------ #
+    # Queries.
+    # ------------------------------------------------------------------ #
+    def has_collection(self, name: str) -> bool:
+        return name in self._collections
+
+    def calls(self) -> list[CallNode]:
+        return list(self._calls.values())
+
+    def producer_of(self, name: str) -> CallNode | None:
+        """The call that produces ``name``, or ``None`` for primary inputs."""
+        call_id = self._producer.get(name)
+        if call_id is None:
+            return None
+        return self._calls[call_id]
+
+    def consumers_of(self, name: str) -> list[CallNode]:
+        """Calls that take ``name`` as an input."""
+        return [self._calls[cid] for cid in self._consumers.get(name, [])]
+
+    def consumer_count(self, name: str) -> int:
+        """How many calls process the collection (the multi-process rule)."""
+        return len(self._consumers.get(name, []))
+
+    def siblings_of(self, name: str) -> tuple[str, ...]:
+        """Other outputs of the call that produces ``name`` (may be empty)."""
+        producer = self.producer_of(name)
+        if producer is None:
+            return ()
+        return tuple(other for other in producer.outputs if other != name)
+
+    def ancestors_of(self, name: str) -> list[str]:
+        """All transitive ancestors of a collection, nearest first."""
+        ancestors: list[str] = []
+        frontier = [name]
+        seen = {name}
+        while frontier:
+            current = frontier.pop(0)
+            producer = self.producer_of(current)
+            if producer is None:
+                continue
+            for parent in producer.inputs:
+                if parent not in seen:
+                    seen.add(parent)
+                    ancestors.append(parent)
+                    frontier.append(parent)
+        return ancestors
+
+    def derivation_chain(self, name: str, is_available) -> list[tuple[CallNode, str]]:
+        """The calls to replay, oldest first, to rebuild ``name``.
+
+        ``is_available(collection_name)`` tells the graph which collections
+        already have their records present (primary inputs, produced
+        intermediates).  The chain stops at the first available ancestor on
+        each path.
+
+        Raises:
+            GraphConsistencyError: if some path reaches a primary input that
+                is not available, i.e. the collection cannot be rebuilt.
+        """
+        chain: list[tuple[CallNode, str]] = []
+
+        def visit(target: str) -> None:
+            if is_available(target):
+                return
+            producer = self.producer_of(target)
+            if producer is None:
+                raise GraphConsistencyError(
+                    f"collection {target!r} has no producer and is not available; "
+                    "cannot reconstruct"
+                )
+            for parent in producer.inputs:
+                visit(parent)
+            chain.append((producer, target))
+
+        visit(name)
+        return chain
+
+    def __len__(self) -> int:
+        return len(self._calls)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"ControlFlowGraph(collections={len(self._collections)}, "
+            f"calls={len(self._calls)})"
+        )

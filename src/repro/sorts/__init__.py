@@ -1,0 +1,30 @@
+"""Sorting algorithms of Section 2.1 and their cost models."""
+
+from repro.sorts.base import SortAlgorithm, SortResult
+from repro.sorts.external_mergesort import ExternalMergeSort
+from repro.sorts.selection_sort import SelectionSort
+from repro.sorts.segment_sort import SegmentSort
+from repro.sorts.hybrid_sort import HybridSort
+from repro.sorts.lazy_sort import LazySort
+from repro.sorts import cost
+
+#: All sort classes keyed by their paper abbreviation.
+SORT_REGISTRY = {
+    "ExMS": ExternalMergeSort,
+    "SelS": SelectionSort,
+    "SegS": SegmentSort,
+    "HybS": HybridSort,
+    "LaS": LazySort,
+}
+
+__all__ = [
+    "SortAlgorithm",
+    "SortResult",
+    "ExternalMergeSort",
+    "SelectionSort",
+    "SegmentSort",
+    "HybridSort",
+    "LazySort",
+    "SORT_REGISTRY",
+    "cost",
+]

@@ -1,0 +1,219 @@
+"""Analytical cost models for the sorting algorithms (Section 2.1).
+
+All expressions follow the paper's conventions:
+
+* ``size_buffers`` (the paper's |T|) and ``memory_buffers`` (M) are in
+  cachelines;
+* ``read_cost`` (r) is the cost of reading one cacheline;
+* ``lam`` (λ = w / r) is the write/read asymmetry, λ > 1;
+* floor/ceiling functions are dropped, as in the paper's analysis.
+
+Costs are returned in the same unit as ``read_cost`` (nanoseconds when the
+caller passes a latency in nanoseconds, abstract units when it passes 1).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import CostModelError
+
+
+def _validate(size_buffers: float, memory_buffers: float, lam: float) -> None:
+    if size_buffers <= 0:
+        raise CostModelError(f"input size must be positive, got {size_buffers}")
+    if memory_buffers <= 1:
+        raise CostModelError(
+            f"memory must exceed one buffer for the models, got {memory_buffers}"
+        )
+    if lam <= 0:
+        raise CostModelError(f"lambda must be positive, got {lam}")
+
+
+def external_mergesort_cost(
+    size_buffers: float,
+    memory_buffers: float,
+    read_cost: float = 1.0,
+    lam: float = 15.0,
+) -> float:
+    """Cost of external mergesort: |T| r (1 + λ)(log_M |T| + 1).
+
+    Run generation fully reads and writes the input once; each of the
+    log_M |T| merge passes does the same.
+    """
+    _validate(size_buffers, memory_buffers, lam)
+    passes = max(0.0, math.log(size_buffers, memory_buffers))
+    return size_buffers * read_cost * (1.0 + lam) * (passes + 1.0)
+
+
+def selection_sort_cost(
+    size_buffers: float,
+    memory_buffers: float,
+    read_cost: float = 1.0,
+    lam: float = 15.0,
+) -> float:
+    """Cost of the multi-pass selection sort: r |T| (|T|/M + λ).
+
+    The algorithm performs |T|/M read passes over the input and writes each
+    element exactly once at its final location.
+    """
+    _validate(size_buffers, memory_buffers, lam)
+    return read_cost * size_buffers * (size_buffers / memory_buffers + lam)
+
+
+def segment_sort_cost(
+    write_intensity: float,
+    size_buffers: float,
+    memory_buffers: float,
+    read_cost: float = 1.0,
+    lam: float = 15.0,
+) -> float:
+    """Cost of segment sort for a given write intensity x (Eq. 1).
+
+    ``Sh(x) = x|T| r (1+λ) + (1−x)|T| r ((1−x)|T|/M + λ)
+              + |T| r (1+λ) log_M (x|T|/2M + 1)``
+
+    The first term is run generation via replacement selection over the
+    x-fraction of the input, the second is the selection-sorted remainder,
+    and the third is the merge of all runs (replacement selection produces
+    runs of 2M on average).
+    """
+    _validate(size_buffers, memory_buffers, lam)
+    if not 0.0 <= write_intensity <= 1.0:
+        raise CostModelError(
+            f"write intensity must lie in [0, 1], got {write_intensity}"
+        )
+    x = write_intensity
+    t = size_buffers
+    m = memory_buffers
+    run_generation = x * t * read_cost * (1.0 + lam)
+    selection_part = (1.0 - x) * t * read_cost * ((1.0 - x) * t / m + lam)
+    merge_passes = math.log(x * t / (2.0 * m) + 1.0, m)
+    merge_part = t * read_cost * (1.0 + lam) * max(0.0, merge_passes)
+    return run_generation + selection_part + merge_part
+
+
+def segment_sort_applicable(
+    size_buffers: float, memory_buffers: float, lam: float
+) -> bool:
+    """Applicability condition of the Eq. 4 optimum: λ < 2 (|T|/M) ln M."""
+    _validate(size_buffers, memory_buffers, lam)
+    return lam < 2.0 * (size_buffers / memory_buffers) * math.log(memory_buffers)
+
+
+def optimal_segment_intensity(
+    size_buffers: float,
+    memory_buffers: float,
+    lam: float = 15.0,
+) -> float:
+    """Cost-optimal write intensity for segment sort (Eq. 4).
+
+    The positive root of the quadratic obtained from d Sh(x) / dx = 0::
+
+        x = (−lnM·|T| + sqrt(lnM (lnM·|T|² + 2|T|·M·lnM − λ·M²))) / (M lnM)
+
+    The result is clipped to the open interval (0, 1); callers that need to
+    know whether the analytical optimum is admissible should first check
+    :func:`segment_sort_applicable`.
+    """
+    _validate(size_buffers, memory_buffers, lam)
+    t = size_buffers
+    m = memory_buffers
+    log_m = math.log(m)
+    discriminant = log_m * (log_m * t * t + 2.0 * t * m * log_m - lam * m * m)
+    if discriminant < 0:
+        raise CostModelError(
+            "segment sort optimum undefined: discriminant negative "
+            f"(|T|={t}, M={m}, lambda={lam})"
+        )
+    x = (-log_m * t + math.sqrt(discriminant)) / (m * log_m)
+    epsilon = 1e-9
+    return min(1.0 - epsilon, max(epsilon, x))
+
+
+def hybrid_sort_cost(
+    selection_fraction: float,
+    size_buffers: float,
+    memory_buffers: float,
+    read_cost: float = 1.0,
+    lam: float = 15.0,
+) -> float:
+    """Cost estimate for hybrid sort (Algorithm 1).
+
+    The paper does not state a closed form for hybrid sort; this estimate
+    follows its structure.  With a selection region of x·M buffers the
+    algorithm reads the input once, writes everything except the selection
+    region's residents as runs (replacement selection over (1−x)·M buffers,
+    runs of 2(1−x)M on average), merges those runs, and writes the output::
+
+        C(x) = |T| r                                  (input scan)
+             + (|T| − xM) λ r                         (run generation writes)
+             + (|T| − xM) r (1+λ) log_M(|T|/2(1−x)M)  (merge passes)
+             + |T| λ r                                (output)
+    """
+    _validate(size_buffers, memory_buffers, lam)
+    if not 0.0 < selection_fraction < 1.0:
+        raise CostModelError(
+            f"selection fraction must lie in (0, 1), got {selection_fraction}"
+        )
+    t = size_buffers
+    m = memory_buffers
+    x = selection_fraction
+    spilled = max(0.0, t - x * m)
+    replacement_region = (1.0 - x) * m
+    runs = max(1.0, t / (2.0 * replacement_region))
+    merge_passes = max(1.0, math.log(runs, m)) if runs > 1.0 else 0.0
+    scan = t * read_cost
+    run_writes = spilled * lam * read_cost
+    merge = spilled * read_cost * (1.0 + lam) * merge_passes
+    output = t * lam * read_cost
+    return scan + run_writes + merge + output
+
+
+def lazy_sort_materialization_iteration(
+    size_buffers: float, memory_buffers: float, lam: float
+) -> int:
+    """Iteration at which lazy sort materializes an intermediate (Eq. 5).
+
+    ``n = floor(|T| λ / (M (λ + 1)))``: the point where rescanning what has
+    already been emitted costs more than writing the remainder once.
+    """
+    _validate(size_buffers, memory_buffers, lam)
+    return int(size_buffers * lam / (memory_buffers * (lam + 1.0)))
+
+
+def lazy_sort_cost(
+    size_buffers: float,
+    memory_buffers: float,
+    read_cost: float = 1.0,
+    lam: float = 15.0,
+) -> float:
+    """Cost estimate for lazy sort.
+
+    Lazy sort behaves like selection sort until iteration n* (Eq. 5), at
+    which point it materializes the remaining input and restarts the
+    analysis on the smaller relation.  The estimate sums the read passes of
+    each epoch, the materialization writes, and the single write of every
+    record at its final output position.
+    """
+    _validate(size_buffers, memory_buffers, lam)
+    t = size_buffers
+    m = memory_buffers
+    total = t * lam * read_cost  # every record written once to the output
+    remaining = t
+    guard = 0
+    while remaining > m and guard < 10_000:
+        guard += 1
+        n_star = max(1, lazy_sort_materialization_iteration(remaining, m, lam))
+        iterations_left = remaining / m
+        epoch_iterations = min(n_star, math.ceil(iterations_left))
+        # Each iteration of the epoch rescans the current source once.
+        total += epoch_iterations * remaining * read_cost
+        emitted = epoch_iterations * m
+        remaining = max(0.0, remaining - emitted)
+        if remaining > m:
+            # Materialize the remainder before reverting to lazy scanning.
+            total += remaining * lam * read_cost
+    if remaining > 0:
+        total += remaining * read_cost
+    return total

@@ -1,0 +1,103 @@
+"""External mergesort with replacement selection (the paper's ``ExMS``).
+
+This is the symmetric-I/O baseline of Section 2.1: run generation fully
+reads the input and writes it back as sorted runs (of roughly twice the
+memory size thanks to replacement selection), and each merge pass reads
+and rewrites the whole data set.
+"""
+
+from __future__ import annotations
+
+from repro.sorts import cost
+from repro.sorts.base import SortAlgorithm, SortResult
+from repro.sorts.heaps import ReplacementSelectionHeap
+from repro.storage.collection import PersistentCollection
+from repro.storage.runs import RunSet, merge_runs
+
+
+def generate_runs_replacement_selection(
+    collection: PersistentCollection,
+    runset: RunSet,
+    capacity_records: int,
+    key_fn,
+    start: int = 0,
+    stop: int | None = None,
+) -> int:
+    """Generate sorted runs from a slice of ``collection`` into ``runset``.
+
+    Returns the number of runs produced.  Shared by external mergesort and
+    the mergesort segment of segment sort.
+    """
+    heap = ReplacementSelectionHeap(capacity_records, key_fn)
+    current_run = None
+    for record in collection.scan(start=start, stop=stop):
+        if not heap.is_full:
+            heap.fill(record)
+            continue
+        if current_run is None:
+            current_run = runset.new_run()
+        emitted, run_closed = heap.push_pop(record)
+        current_run.append(emitted)
+        if run_closed:
+            current_run.seal()
+            current_run = None
+    # Drain what remains in the two heaps: the tail of the current run and,
+    # if present, the records already parked for the next run.
+    if len(heap):
+        if current_run is None:
+            current_run = runset.new_run()
+        for record in heap.drain_current():
+            current_run.append(record)
+        current_run.seal()
+        current_run = None
+        if heap.has_next_run():
+            next_run = runset.new_run()
+            for record in heap.drain_next():
+                next_run.append(record)
+            next_run.seal()
+    elif current_run is not None:
+        current_run.seal()
+    return len(runset)
+
+
+class ExternalMergeSort(SortAlgorithm):
+    """Standard external mergesort using replacement selection (``ExMS``)."""
+
+    short_name = "ExMS"
+    write_limited = False
+
+    def _execute(self, collection: PersistentCollection) -> SortResult:
+        output = self._make_output(collection.name)
+        if len(collection) == 0:
+            output.seal()
+            return SortResult(output=output, io=None)
+        runset = RunSet(
+            self.backend, schema=self.schema, prefix=f"{collection.name}-exms"
+        )
+        generate_runs_replacement_selection(
+            collection, runset, self.workspace_records, self.key_fn
+        )
+        merge_passes = merge_runs(
+            runset.runs,
+            output,
+            fan_in=self.budget.merge_fan_in(),
+            backend=self.backend,
+            schema=self.schema,
+            key=self.key_fn,
+            materialize_output=self.materialize_output,
+        )
+        return SortResult(
+            output=output,
+            io=None,
+            runs_generated=len(runset),
+            merge_passes=merge_passes,
+            input_scans=1,
+        )
+
+    def estimated_cost_ns(self, input_buffers: float) -> float:
+        return cost.external_mergesort_cost(
+            input_buffers,
+            self.memory_buffers,
+            read_cost=self.backend.device.latency.read_ns,
+            lam=self.backend.device.write_read_ratio,
+        )

@@ -1,0 +1,125 @@
+"""Multi-pass selection sort: the write-minimal building block.
+
+The generalization of selection sort described in Section 2.1.1: with a
+budget of M buffers the algorithm repeatedly scans the input, each pass
+extracting the next M smallest records (by a strict ``(key, position)``
+order so duplicates are handled exactly once) and appending them to the
+output.  Every record is written exactly once, at its final location, at
+the price of |T|/M read passes.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ReproError
+from repro.sorts import cost
+from repro.sorts.base import SortAlgorithm, SortResult
+from repro.sorts.heaps import BoundedMaxHeap
+from repro.storage.collection import PersistentCollection
+
+
+def selection_sort_stream(
+    collection: PersistentCollection,
+    workspace_records: int,
+    key_fn,
+    start: int = 0,
+    stop: int | None = None,
+):
+    """Lazily yield a slice of ``collection`` in sorted order.
+
+    The generator performs the multi-pass selection sort but never writes:
+    each pass re-reads the slice (charging reads) and yields the next batch
+    of minimum records.  Segment sort pipes this stream straight into its
+    final merge, which is how it avoids materializing the selection segment
+    as an intermediate run.
+    """
+    if collection.is_deferred:
+        total = sum(1 for _ in collection.scan(start=start, stop=stop))
+    else:
+        total = len(collection.records[start:stop])
+    emitted = 0
+    threshold: tuple[int, int] | None = None
+    while emitted < total:
+        heap = BoundedMaxHeap(workspace_records)
+        for position, record in enumerate(collection.scan(start=start, stop=stop)):
+            key = key_fn(record)
+            if threshold is not None and (key, position) <= threshold:
+                continue
+            heap.offer(key, position, record)
+        if len(heap) == 0:
+            raise ReproError(
+                "selection sort made no progress; input mutated during sorting?"
+            )
+        threshold = heap.max_key_position
+        batch = heap.drain_sorted()
+        emitted += len(batch)
+        yield from batch
+
+
+def selection_sort_into(
+    collection: PersistentCollection,
+    output: PersistentCollection,
+    workspace_records: int,
+    key_fn,
+    start: int = 0,
+    stop: int | None = None,
+) -> int:
+    """Selection-sort a slice of ``collection``, appending to ``output``.
+
+    Returns the number of read passes performed over the slice.  Shared by
+    :class:`SelectionSort` and the selection segment of segment sort.
+    """
+    total = len(collection.records[start:stop]) if not collection.is_deferred else None
+    if total is None:
+        total = sum(1 for _ in collection.scan(start=start, stop=stop))
+    emitted = 0
+    threshold: tuple[int, int] | None = None
+    passes = 0
+    while emitted < total:
+        heap = BoundedMaxHeap(workspace_records)
+        for position, record in enumerate(collection.scan(start=start, stop=stop)):
+            key = key_fn(record)
+            if threshold is not None and (key, position) <= threshold:
+                continue
+            heap.offer(key, position, record)
+        passes += 1
+        if len(heap) == 0:
+            raise ReproError(
+                "selection sort made no progress; input mutated during sorting?"
+            )
+        threshold = heap.max_key_position
+        batch = heap.drain_sorted()
+        output.extend(batch)
+        emitted += len(batch)
+    return passes
+
+
+class SelectionSort(SortAlgorithm):
+    """The pure multi-pass selection sort (minimum writes, maximum reads)."""
+
+    short_name = "SelS"
+    write_limited = True
+
+    def _execute(self, collection: PersistentCollection) -> SortResult:
+        output = self._make_output(collection.name)
+        if len(collection) == 0:
+            output.seal()
+            return SortResult(output=output, io=None)
+        passes = selection_sort_into(
+            collection, output, self.workspace_records, self.key_fn
+        )
+        output.seal()
+        return SortResult(
+            output=output,
+            io=None,
+            runs_generated=0,
+            merge_passes=0,
+            input_scans=passes,
+        )
+
+    def estimated_cost_ns(self, input_buffers: float) -> float:
+        return cost.selection_sort_cost(
+            input_buffers,
+            self.memory_buffers,
+            read_cost=self.backend.device.latency.read_ns,
+            lam=self.backend.device.write_read_ratio,
+        )

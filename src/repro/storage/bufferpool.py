@@ -1,0 +1,182 @@
+"""DRAM memory budgeting.
+
+The paper's algorithms are parametrized on a DRAM budget of M buffers
+(cachelines).  :class:`MemoryBudget` captures that budget and converts it
+between the units the code needs (bytes, cachelines, records, merge
+fan-in), and :class:`Bufferpool` enforces it: operators reserve workspace
+and a reservation beyond the budget raises.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from repro.exceptions import BufferpoolExhaustedError, ConfigurationError
+from repro.pmem.device import DEFAULT_CACHELINE_BYTES, DEFAULT_BLOCK_BYTES
+from repro.storage.schema import Schema, WISCONSIN_SCHEMA
+
+
+@dataclass(frozen=True)
+class MemoryBudget:
+    """A DRAM budget expressed in bytes, convertible to algorithm units.
+
+    Attributes:
+        nbytes: budget size in bytes.
+        cacheline_bytes: cacheline size used for the ``buffers`` conversion
+            (the paper's M is measured in cachelines).
+        block_bytes: block size used for merge fan-in computations.
+    """
+
+    nbytes: int
+    cacheline_bytes: int = DEFAULT_CACHELINE_BYTES
+    block_bytes: int = DEFAULT_BLOCK_BYTES
+
+    def __post_init__(self) -> None:
+        if self.nbytes <= 0:
+            raise ConfigurationError("memory budget must be positive")
+        if self.cacheline_bytes <= 0 or self.block_bytes <= 0:
+            raise ConfigurationError("cacheline/block sizes must be positive")
+
+    # ------------------------------------------------------------------ #
+    # Constructors.
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_bytes(cls, nbytes: int, **kwargs) -> "MemoryBudget":
+        return cls(nbytes=nbytes, **kwargs)
+
+    @classmethod
+    def from_kilobytes(cls, kilobytes: float, **kwargs) -> "MemoryBudget":
+        return cls(nbytes=int(kilobytes * 1024), **kwargs)
+
+    @classmethod
+    def from_megabytes(cls, megabytes: float, **kwargs) -> "MemoryBudget":
+        return cls(nbytes=int(megabytes * 1024 * 1024), **kwargs)
+
+    @classmethod
+    def from_records(
+        cls, num_records: int, schema: Schema = WISCONSIN_SCHEMA, **kwargs
+    ) -> "MemoryBudget":
+        """A budget that holds exactly ``num_records`` records of ``schema``."""
+        if num_records <= 0:
+            raise ConfigurationError("record budget must be positive")
+        return cls(nbytes=num_records * schema.record_bytes, **kwargs)
+
+    @classmethod
+    def fraction_of(
+        cls, collection, fraction: float, minimum_records: int = 4, **kwargs
+    ) -> "MemoryBudget":
+        """A budget equal to a fraction of a collection's size.
+
+        The paper's sweeps express memory as 1-15 % of the input size; this
+        constructor reproduces that parametrization.  ``minimum_records``
+        guards against degenerate budgets on tiny test inputs.
+        """
+        if not 0 < fraction:
+            raise ConfigurationError("fraction must be positive")
+        nbytes = max(
+            int(collection.nbytes * fraction),
+            minimum_records * collection.schema.record_bytes,
+        )
+        return cls(nbytes=nbytes, **kwargs)
+
+    # ------------------------------------------------------------------ #
+    # Conversions.
+    # ------------------------------------------------------------------ #
+    @property
+    def buffers(self) -> float:
+        """The budget in cachelines: the paper's M."""
+        return self.nbytes / self.cacheline_bytes
+
+    @property
+    def blocks(self) -> int:
+        """Whole blocks that fit in the budget (at least one)."""
+        return max(1, self.nbytes // self.block_bytes)
+
+    def record_capacity(self, schema: Schema = WISCONSIN_SCHEMA) -> int:
+        """Whole records of ``schema`` that fit in the budget (at least one)."""
+        return max(1, self.nbytes // schema.record_bytes)
+
+    def merge_fan_in(self) -> int:
+        """Maximum number of runs that can be merged in one pass.
+
+        The paper keeps at most M runs open during merging, with M counted
+        in buffers (cachelines); one buffer is reserved for the output
+        frontier.  Never below two.
+        """
+        return max(2, int(self.buffers) - 1)
+
+    def split(self, fraction: float) -> tuple["MemoryBudget", "MemoryBudget"]:
+        """Split the budget in two parts: ``fraction`` and the remainder.
+
+        Used by hybrid sort to divide M between the selection region and
+        the replacement-selection region.  Both halves are at least one
+        cacheline.
+        """
+        if not 0 < fraction < 1:
+            raise ConfigurationError("split fraction must be in (0, 1)")
+        first = max(self.cacheline_bytes, int(self.nbytes * fraction))
+        second = max(self.cacheline_bytes, self.nbytes - first)
+        return (
+            MemoryBudget(first, self.cacheline_bytes, self.block_bytes),
+            MemoryBudget(second, self.cacheline_bytes, self.block_bytes),
+        )
+
+    def __mul__(self, factor: float) -> "MemoryBudget":
+        return MemoryBudget(
+            max(1, int(self.nbytes * factor)), self.cacheline_bytes, self.block_bytes
+        )
+
+    __rmul__ = __mul__
+
+
+class Bufferpool:
+    """Tracks DRAM reservations against a :class:`MemoryBudget`.
+
+    The pool is advisory in the sense that algorithms size their own
+    workspaces from the budget, but every workspace is registered here so
+    that a mis-sized algorithm fails loudly instead of silently using more
+    DRAM than the experiment intended.
+    """
+
+    def __init__(self, budget: MemoryBudget) -> None:
+        self.budget = budget
+        self._reserved: dict[str, int] = {}
+
+    @property
+    def reserved_bytes(self) -> int:
+        return sum(self._reserved.values())
+
+    @property
+    def available_bytes(self) -> int:
+        return self.budget.nbytes - self.reserved_bytes
+
+    def reserve(self, nbytes: int, owner: str) -> None:
+        """Reserve ``nbytes`` for ``owner``; raises when over budget."""
+        if nbytes < 0:
+            raise ConfigurationError("reservation must be non-negative")
+        if nbytes > self.available_bytes:
+            raise BufferpoolExhaustedError(
+                f"{owner!r} requested {nbytes} bytes but only "
+                f"{self.available_bytes} of {self.budget.nbytes} are available"
+            )
+        self._reserved[owner] = self._reserved.get(owner, 0) + nbytes
+
+    def release(self, owner: str) -> None:
+        """Release every byte held by ``owner``."""
+        self._reserved.pop(owner, None)
+
+    @contextmanager
+    def workspace(self, nbytes: int, owner: str):
+        """Reserve-and-release context manager for an operator workspace."""
+        self.reserve(nbytes, owner)
+        try:
+            yield
+        finally:
+            self.release(owner)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"Bufferpool(reserved={self.reserved_bytes}, "
+            f"budget={self.budget.nbytes})"
+        )

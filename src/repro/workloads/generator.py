@@ -1,0 +1,102 @@
+"""Builders for the sort and join microbenchmark inputs.
+
+The paper's evaluation sorts a ten-million-record relation and joins a
+one-million-record relation with a ten-million-record one, with every
+left record matching ten right records.  The builders below reproduce the
+same *structure* (schemas, key permutation, cardinality ratio and fanout)
+at configurable sizes, since the absolute cardinalities are out of reach
+for a pure-Python run.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.exceptions import ConfigurationError
+from repro.pmem.backends.base import PersistenceBackend
+from repro.storage.collection import CollectionStatus, PersistentCollection
+from repro.storage.schema import Schema, WISCONSIN_SCHEMA
+from repro.workloads.wisconsin import wisconsin_permutation
+
+
+def load_collection(
+    records: Iterable[tuple],
+    backend: PersistenceBackend,
+    name: str,
+    schema: Schema = WISCONSIN_SCHEMA,
+) -> PersistentCollection:
+    """Materialize a collection from an iterable of records.
+
+    Loading charges device writes like any other materialization; callers
+    that want to exclude the load from their measurements (the paper
+    factors data loading out of its timings) should snapshot the device
+    after loading, which is what the benchmark harness does.
+    """
+    collection = PersistentCollection(
+        name=name,
+        backend=backend,
+        schema=schema,
+        status=CollectionStatus.MATERIALIZED,
+    )
+    collection.extend(records)
+    collection.seal()
+    return collection
+
+
+def make_sort_input(
+    num_records: int,
+    backend: PersistenceBackend,
+    schema: Schema = WISCONSIN_SCHEMA,
+    name: str = "T",
+    seed: int = 1,
+) -> PersistentCollection:
+    """The sort microbenchmark input: ``num_records`` Wisconsin records."""
+    if num_records < 0:
+        raise ConfigurationError("number of records must be non-negative")
+    records = (
+        schema.make_record(key)
+        for key in wisconsin_permutation(max(num_records, 1), seed=seed)
+    )
+    if num_records == 0:
+        records = iter(())
+    return load_collection(records, backend, name, schema)
+
+
+def make_join_inputs(
+    left_records: int,
+    right_records: int,
+    backend: PersistenceBackend,
+    schema: Schema = WISCONSIN_SCHEMA,
+    left_name: str = "T",
+    right_name: str = "V",
+    seed: int = 1,
+) -> tuple[PersistentCollection, PersistentCollection]:
+    """The join microbenchmark inputs.
+
+    The left input carries ``left_records`` distinct keys in Wisconsin
+    permutation order.  The right input carries ``right_records`` records
+    whose keys cycle through the left key domain, so every left record
+    matches exactly ``right_records / left_records`` right records -- the
+    1:10 fanout of the paper when the cardinality ratio is 1:10.
+    """
+    if left_records <= 0 or right_records <= 0:
+        raise ConfigurationError("join inputs must be non-empty")
+    left = load_collection(
+        (
+            schema.make_record(key)
+            for key in wisconsin_permutation(left_records, seed=seed)
+        ),
+        backend,
+        left_name,
+        schema,
+    )
+    right = load_collection(
+        (
+            schema.make_record(key % left_records)
+            for key in wisconsin_permutation(right_records, seed=seed + 1)
+        ),
+        backend,
+        right_name,
+        schema,
+    )
+    return left, right

@@ -1,0 +1,73 @@
+"""Tests for the aggregate accumulators."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aggregation.functions import (
+    AGGREGATE_REGISTRY,
+    AverageAggregate,
+    CountAggregate,
+    MaxAggregate,
+    MinAggregate,
+    SumAggregate,
+    make_aggregate,
+)
+from repro.exceptions import ConfigurationError
+
+
+def fold(aggregate, values):
+    state = aggregate.initial()
+    for value in values:
+        state = aggregate.step(state, value)
+    return aggregate.final(state)
+
+
+class TestIndividualAggregates:
+    def test_count(self):
+        assert fold(CountAggregate(), [5, 5, 7]) == 3
+
+    def test_sum(self):
+        assert fold(SumAggregate(), [1, 2, 3, 4]) == 10
+
+    def test_min(self):
+        assert fold(MinAggregate(), [7, 3, 9]) == 3
+
+    def test_max(self):
+        assert fold(MaxAggregate(), [7, 3, 9]) == 9
+
+    def test_avg_floor_semantics(self):
+        assert fold(AverageAggregate(), [1, 2, 4]) == 2
+
+    @pytest.mark.parametrize("cls", [MinAggregate, MaxAggregate, AverageAggregate])
+    def test_empty_group_is_undefined(self, cls):
+        aggregate = cls()
+        with pytest.raises(ConfigurationError):
+            aggregate.final(aggregate.initial())
+
+    def test_registry_and_factory(self):
+        assert set(AGGREGATE_REGISTRY) == {"count", "sum", "min", "max", "avg"}
+        assert isinstance(make_aggregate("sum"), SumAggregate)
+        with pytest.raises(ConfigurationError):
+            make_aggregate("median")
+
+
+class TestPartialMerging:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        left=st.lists(st.integers(min_value=-1000, max_value=1000), min_size=1, max_size=30),
+        right=st.lists(st.integers(min_value=-1000, max_value=1000), min_size=1, max_size=30),
+        name=st.sampled_from(["count", "sum", "min", "max", "avg"]),
+    )
+    def test_merge_equals_folding_everything(self, left, right, name):
+        """Partial aggregation: merge(fold(A), fold(B)) == fold(A + B)."""
+        aggregate = make_aggregate(name)
+
+        def partial(values):
+            state = aggregate.initial()
+            for value in values:
+                state = aggregate.step(state, value)
+            return state
+
+        merged = aggregate.merge(partial(left), partial(right))
+        assert aggregate.final(merged) == fold(make_aggregate(name), left + right)

@@ -1,0 +1,80 @@
+"""Tests for Kendall's tau and ranking helpers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.concordance import concordance, kendall_tau, rank_by_value
+from repro.exceptions import ConfigurationError
+
+scipy_stats = pytest.importorskip("scipy.stats")
+
+
+class TestKendallTau:
+    def test_perfect_agreement(self):
+        assert kendall_tau([1, 2, 3, 4], [10, 20, 30, 40]) == pytest.approx(1.0)
+
+    def test_perfect_disagreement(self):
+        assert kendall_tau([1, 2, 3, 4], [40, 30, 20, 10]) == pytest.approx(-1.0)
+
+    def test_partial_agreement(self):
+        value = kendall_tau([1, 2, 3, 4], [1, 3, 2, 4])
+        assert 0 < value < 1
+
+    def test_all_ties_counts_as_agreement(self):
+        assert kendall_tau([1, 1, 1], [2, 2, 2]) == pytest.approx(1.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            kendall_tau([1, 2], [1, 2, 3])
+
+    def test_too_few_items(self):
+        with pytest.raises(ConfigurationError):
+            kendall_tau([1], [1])
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=-100, max_value=100),
+                st.floats(min_value=-100, max_value=100),
+            ),
+            min_size=3,
+            max_size=30,
+        )
+    )
+    def test_agrees_with_scipy(self, pairs):
+        first = [a for a, _ in pairs]
+        second = [b for _, b in pairs]
+        ours = kendall_tau(first, second)
+        theirs = scipy_stats.kendalltau(first, second).statistic
+        if theirs != theirs:  # NaN: scipy's convention for fully tied inputs
+            return
+        assert ours == pytest.approx(theirs, abs=1e-9)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.floats(min_value=-1000, max_value=1000), min_size=2, max_size=30)
+    )
+    def test_self_correlation_is_one(self, values):
+        assert kendall_tau(values, values) == pytest.approx(1.0)
+
+
+class TestRankingHelpers:
+    def test_rank_by_value_orders_ascending(self):
+        scores = {"b": 3.0, "a": 1.0, "c": 2.0}
+        assert rank_by_value(scores) == ["a", "c", "b"]
+
+    def test_concordance_by_name(self):
+        estimated = {"GJ": 10.0, "NLJ": 30.0, "HJ": 20.0}
+        measured = {"GJ": 1.0, "NLJ": 3.0, "HJ": 2.0}
+        assert concordance(estimated, measured) == pytest.approx(1.0)
+
+    def test_concordance_uses_common_items_only(self):
+        estimated = {"GJ": 10.0, "NLJ": 30.0, "only-estimated": 5.0}
+        measured = {"GJ": 1.0, "NLJ": 3.0, "only-measured": 9.0}
+        assert concordance(estimated, measured) == pytest.approx(1.0)
+
+    def test_concordance_needs_two_common_items(self):
+        with pytest.raises(ConfigurationError):
+            concordance({"GJ": 1.0}, {"GJ": 2.0})

@@ -1,0 +1,180 @@
+"""Tests for the per-figure experiment definitions (at reduced scale)."""
+
+import pytest
+
+from repro.bench import experiments
+
+
+class TestAnalyticalExperiments:
+    def test_figure2_panel_summary(self):
+        rows = experiments.hybrid_cost_surfaces(grid_points=5)
+        assert len(rows) == 9
+        for row in rows:
+            assert 0.0 <= row["best_x"] <= 1.0
+            assert 0.0 <= row["best_y"] <= 1.0
+            assert row["surface"].normalized
+
+    def test_table1_rows(self):
+        rows = experiments.lazy_hash_table1(num_partitions=6)
+        assert len(rows) == 6
+        assert rows[0]["lazy_writes"] == 0.0
+        assert rows[0]["savings"] > rows[-1]["savings"]
+
+
+class TestSortExperiments:
+    def test_memory_sweep_structure(self):
+        rows = experiments.sort_memory_sweep(
+            num_records=500, memory_fractions=(0.05, 0.15), intensities=(0.5,)
+        )
+        algorithms = {row["algorithm"] for row in rows}
+        assert algorithms == {"ExMS", "LaS", "HybS, 50%", "SegS, 50%"}
+        assert len(rows) == 2 * len(algorithms)
+        assert all(row["sorted"] for row in rows)
+
+    def test_memory_sweep_trends(self):
+        """More memory never makes the write-limited sorts slower."""
+        rows = experiments.sort_memory_sweep(
+            num_records=600, memory_fractions=(0.03, 0.15), intensities=(0.5,)
+        )
+        by_algorithm = {}
+        for row in rows:
+            by_algorithm.setdefault(row["algorithm"], []).append(row)
+        for algorithm_rows in by_algorithm.values():
+            ordered = sorted(algorithm_rows, key=lambda r: r["memory_fraction"])
+            assert ordered[-1]["simulated_seconds"] <= ordered[0]["simulated_seconds"] * 1.05
+
+    def test_backend_comparison_covers_all_backends(self):
+        rows = experiments.sort_backend_comparison(
+            num_records=300, memory_fractions=(0.1,), intensities=(0.5,)
+        )
+        assert {row["backend"] for row in rows} == {
+            "blocked_memory",
+            "dynamic_array",
+            "ramdisk",
+            "pmfs",
+        }
+
+    def test_backend_comparison_blocked_memory_is_fastest(self):
+        rows = experiments.sort_backend_comparison(
+            num_records=300, memory_fractions=(0.1,), intensities=(0.5,)
+        )
+        exms = [row for row in rows if row["algorithm"] == "ExMS"]
+        fastest = min(exms, key=lambda r: r["simulated_seconds"])
+        assert fastest["backend"] == "blocked_memory"
+
+    def test_write_intensity_sweep(self):
+        rows = experiments.sort_write_intensity(
+            num_records=400,
+            intensities=(0.2, 0.8),
+            memory_fraction=0.1,
+            backends=("blocked_memory",),
+        )
+        labels = {row["algorithm"] for row in rows}
+        assert labels == {"SegS, 20%", "SegS, 80%", "HybS, 20%", "HybS, 80%"}
+
+    def test_writes_reads_summary(self):
+        rows = experiments.sort_memory_sweep(
+            num_records=400, memory_fractions=(0.05, 0.15), intensities=(0.5,)
+        )
+        summary = experiments.writes_reads_summary(rows)
+        assert {entry["algorithm"] for entry in summary} == {
+            row["algorithm"] for row in rows
+        }
+        for entry in summary:
+            assert entry["min_writes"] <= entry["max_writes"]
+
+
+class TestJoinExperiments:
+    def test_memory_sweep_structure(self):
+        rows = experiments.join_memory_sweep(
+            left_records=150,
+            right_records=1500,
+            memory_fractions=(0.05, 0.15),
+            hybrid_intensities=((0.5, 0.5),),
+            segmented_intensities=(0.5,),
+        )
+        assert {row["algorithm"] for row in rows} == {
+            "NLJ",
+            "HJ",
+            "GJ",
+            "LaJ",
+            "SegJ, 50%",
+            "HybJ, 50% - 50%",
+        }
+        assert all(row["matches"] == 1500 for row in rows)
+
+    def test_paper_write_ordering_holds(self):
+        """HJ writes the most; the write-limited joins write less than GJ."""
+        rows = experiments.join_memory_sweep(
+            left_records=150,
+            right_records=1500,
+            memory_fractions=(0.08,),
+            hybrid_intensities=((0.5, 0.5),),
+            segmented_intensities=(0.5,),
+        )
+        writes = {row["algorithm"]: row["cacheline_writes"] for row in rows}
+        assert writes["HJ"] > writes["GJ"]
+        assert writes["NLJ"] == 0
+        for label in ("LaJ", "SegJ, 50%", "HybJ, 50% - 50%"):
+            assert writes[label] < writes["GJ"]
+
+    def test_write_intensity_sweep(self):
+        rows = experiments.join_write_intensity(
+            left_records=120,
+            right_records=1200,
+            intensities=(0.2, 0.8),
+            fixed_intensities=(0.5,),
+            memory_fraction=0.1,
+        )
+        labels = {row["algorithm"] for row in rows}
+        assert "SegJ, 20%" in labels and "SegJ, 80%" in labels
+        assert "HybJ, x - 50%" in labels and "HybJ, 50% - x" in labels
+
+
+class TestSensitivityAndValidation:
+    def test_latency_sensitivity_rows(self):
+        rows = experiments.latency_sensitivity(
+            write_latencies=(50.0, 200.0),
+            num_sort_records=300,
+            join_left_records=100,
+            join_right_records=1000,
+        )
+        assert {row["write_latency_ns"] for row in rows} == {50.0, 200.0}
+        assert {row["operation"] for row in rows} == {"sort", "join"}
+
+    def test_write_limited_resilience_to_write_latency(self):
+        """Figure 11: higher write latency barely moves the lazy algorithms."""
+        rows = experiments.latency_sensitivity(
+            write_latencies=(50.0, 200.0),
+            num_sort_records=300,
+            join_left_records=100,
+            join_right_records=1000,
+        )
+        by_algorithm = {}
+        for row in rows:
+            by_algorithm.setdefault(row["algorithm"], []).append(row)
+        slowdowns = {}
+        for label, algorithm_rows in by_algorithm.items():
+            ordered = sorted(algorithm_rows, key=lambda r: r["write_latency_ns"])
+            slowdowns[label] = (
+                ordered[-1]["simulated_seconds"] / ordered[0]["simulated_seconds"]
+            )
+        # A 4x write-latency increase always costs well under 4x in response
+        # time, and the most read-heavy algorithm (LaS) barely notices it.
+        assert all(value < 3.8 for value in slowdowns.values())
+        assert slowdowns["LaS"] < 2.5
+
+    def test_cost_model_validation_high_concordance(self):
+        """Figure 12: estimated and measured rankings agree strongly."""
+        rows = experiments.cost_model_validation(
+            num_sort_records=400,
+            join_left_records=120,
+            join_right_records=1200,
+            memory_fractions=(0.08, 0.15),
+        )
+        assert {row["operation"] for row in rows} == {"sort", "join"}
+        assert {row["scope"] for row in rows} == {"all", "write-limited"}
+        for row in rows:
+            assert row["kendall_tau"] >= 0.3
+        mean_tau = sum(row["kendall_tau"] for row in rows) / len(rows)
+        assert mean_tau >= 0.6

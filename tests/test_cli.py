@@ -1,0 +1,88 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import FIGURES, TABLES, build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_figure_command_defaults(self):
+        args = build_parser().parse_args(["figure", "5"])
+        assert args.number == 5
+        assert args.backend == "blocked_memory"
+        assert args.records == 2_000
+
+    def test_figure_command_custom_options(self):
+        args = build_parser().parse_args(
+            ["figure", "7", "--left", "100", "--right", "1000", "--fractions", "0.1"]
+        )
+        assert args.left == 100
+        assert args.fractions == [0.1]
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "3"])
+
+    def test_table_command(self):
+        args = build_parser().parse_args(["table", "1", "--partitions", "5"])
+        assert args.number == 1
+        assert args.partitions == 5
+
+    def test_registry_covers_every_evaluation_figure(self):
+        assert set(FIGURES) == {2, 5, 6, 7, 8, 9, 10, 11, 12}
+        assert set(TABLES) == {1}
+
+
+class TestExecution:
+    def test_list_prints_inventory(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "figure 5" in out
+        assert "table  1" in out
+
+    def test_table1_runs(self, capsys):
+        assert main(["table", "1", "--partitions", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "savings" in out
+
+    def test_figure2_runs(self, capsys):
+        assert main(["figure", "2", "--grid", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "lambda" in out
+
+    def test_figure5_runs_small(self, capsys):
+        code = main(
+            ["figure", "5", "--records", "300", "--fractions", "0.1", "0.2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ExMS" in out and "LaS" in out
+
+    def test_figure12_runs_small(self, capsys):
+        code = main(
+            [
+                "figure",
+                "12",
+                "--records",
+                "300",
+                "--left",
+                "100",
+                "--right",
+                "1000",
+                "--fractions",
+                "0.1",
+            ]
+        )
+        assert code == 0
+        assert "kendall_tau" in capsys.readouterr().out
+
+    def test_output_file(self, tmp_path, capsys):
+        target = tmp_path / "table1.txt"
+        assert main(["table", "1", "--output", str(target)]) == 0
+        assert "Table 1" in target.read_text()
+        assert capsys.readouterr().out == ""

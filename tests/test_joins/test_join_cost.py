@@ -1,0 +1,174 @@
+"""Tests for the Section 2.2 join cost models."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import CostModelError
+from repro.joins import cost
+
+
+LEFT = 10_000.0
+RIGHT = 100_000.0
+MEMORY = 1_000.0
+LAMBDA = 15.0
+
+
+class TestBaselines:
+    def test_nested_loops_closed_form(self):
+        expected = LEFT + (LEFT / MEMORY) * RIGHT
+        assert cost.nested_loops_cost(LEFT, RIGHT, MEMORY, 1.0, LAMBDA) == pytest.approx(
+            expected
+        )
+
+    def test_nested_loops_writes_only_output(self):
+        without = cost.nested_loops_cost(LEFT, RIGHT, MEMORY, 1.0, LAMBDA)
+        with_output = cost.nested_loops_cost(
+            LEFT, RIGHT, MEMORY, 1.0, LAMBDA, output_buffers=100.0
+        )
+        assert with_output - without == pytest.approx(100.0 * LAMBDA)
+
+    def test_grace_closed_form(self):
+        expected = (2 + LAMBDA) * (LEFT + RIGHT)
+        assert cost.grace_join_cost(LEFT, RIGHT, 1.0, LAMBDA) == pytest.approx(expected)
+
+    def test_hash_join_dominates_grace(self):
+        """HJ re-reads and re-writes shrinking inputs: always >= Grace."""
+        assert cost.hash_join_cost(LEFT, RIGHT, MEMORY, 1.0, LAMBDA) >= (
+            cost.grace_join_cost(LEFT, RIGHT, 1.0, LAMBDA)
+        )
+
+    def test_grace_applicability(self):
+        assert cost.grace_applicable(LEFT, MEMORY)
+        assert not cost.grace_applicable(LEFT, 50.0)
+
+    def test_size_validation(self):
+        with pytest.raises(CostModelError):
+            cost.grace_join_cost(0, RIGHT)
+
+
+class TestHybridJoin:
+    def test_eq6_closed_form(self):
+        x, y = 0.4, 0.7
+        expected = (
+            (2 + LAMBDA) * (x * LEFT + y * RIGHT)
+            + (1 - x) * LEFT
+            + LEFT * RIGHT / MEMORY * (1 - x * y)
+        )
+        assert cost.hybrid_join_cost(
+            x, y, LEFT, RIGHT, MEMORY, 1.0, LAMBDA
+        ) == pytest.approx(expected)
+
+    def test_full_grace_corner_matches_grace_join(self):
+        """At x = y = 1 the hybrid reduces to Grace join (Eq. 6 vs GJ cost)."""
+        hybrid = cost.hybrid_join_cost(1.0, 1.0, LEFT, RIGHT, MEMORY, 1.0, LAMBDA)
+        grace = cost.grace_join_cost(LEFT, RIGHT, 1.0, LAMBDA)
+        assert hybrid == pytest.approx(grace)
+
+    def test_full_nested_loops_corner(self):
+        """At x = y = 0 the hybrid reduces to block nested loops."""
+        hybrid = cost.hybrid_join_cost(0.0, 0.0, LEFT, RIGHT, MEMORY, 1.0, LAMBDA)
+        nlj = cost.nested_loops_cost(LEFT, RIGHT, MEMORY, 1.0, LAMBDA)
+        assert hybrid == pytest.approx(nlj)
+
+    def test_saddle_point_eq7_eq8(self):
+        x_h, y_h = cost.hybrid_join_saddle_point(LEFT, RIGHT, MEMORY, LAMBDA)
+        assert x_h == pytest.approx(MEMORY * (LAMBDA + 2) / LEFT)
+        assert y_h == pytest.approx(MEMORY * (LAMBDA + 1) / RIGHT)
+
+    def test_x_y_validation(self):
+        with pytest.raises(CostModelError):
+            cost.hybrid_join_cost(1.5, 0.5, LEFT, RIGHT, MEMORY)
+
+    def test_heuristics_similar_inputs_low_lambda_prefer_grace(self):
+        x, y = cost.hybrid_join_heuristic_intensities(LEFT, LEFT, MEMORY, 2.0)
+        assert x >= 0.8 and y >= 0.8
+
+    def test_heuristics_large_ratio_shifts_to_nested_loops(self):
+        x, y = cost.hybrid_join_heuristic_intensities(LEFT, 100 * LEFT, MEMORY, 8.0)
+        assert y < 0.5
+        assert x + y <= 1.0 + 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        x=st.floats(min_value=0.0, max_value=1.0),
+        y=st.floats(min_value=0.0, max_value=1.0),
+        lam=st.floats(min_value=1.5, max_value=20.0),
+    )
+    def test_property_cost_positive_and_finite(self, x, y, lam):
+        value = cost.hybrid_join_cost(x, y, LEFT, RIGHT, MEMORY, 1.0, lam)
+        assert value > 0
+        assert value < float("inf")
+
+
+class TestSegmentedGrace:
+    def test_eq9_closed_form(self):
+        k = 10.0
+        x = 4.0
+        total = LEFT + RIGHT
+        expected = total + x * (1 + LAMBDA) * total / k + (k - x) * total
+        assert cost.segmented_grace_cost(
+            x, LEFT, RIGHT, k, 1.0, LAMBDA
+        ) == pytest.approx(expected)
+
+    def test_all_partitions_materialized_close_to_grace(self):
+        """x = k: one extra scan of both inputs compared to Grace join."""
+        k = 10.0
+        segmented = cost.segmented_grace_cost(k, LEFT, RIGHT, k, 1.0, LAMBDA)
+        grace = cost.grace_join_cost(LEFT, RIGHT, 1.0, LAMBDA)
+        assert segmented == pytest.approx(grace - (LEFT + RIGHT) * 1.0 + (LEFT + RIGHT))
+
+    def test_eq10_bound_behaviour(self):
+        """For small k relative to lambda the bound allows materialization."""
+        bound = cost.segmented_grace_beats_grace_bound(3.0, 15.0)
+        assert 0 < bound <= 3.0
+
+    def test_eq10_bound_is_clipped_to_partition_count(self):
+        # The closed form evaluates below k here; it is returned as-is.
+        bound = cost.segmented_grace_beats_grace_bound(10.0, 2.0)
+        expected = (2.0 + 1.0 - 10.0) * 10.0 / (2.0 + 1.0 - 100.0)
+        assert bound == pytest.approx(expected)
+        # And it is never reported above the number of partitions.
+        assert cost.segmented_grace_beats_grace_bound(2.0, 50.0) <= 2.0
+
+    def test_materialized_partition_validation(self):
+        with pytest.raises(CostModelError):
+            cost.segmented_grace_cost(11.0, LEFT, RIGHT, 10.0)
+
+    def test_rescans_cheaper_than_materializing_when_k_below_lambda(self):
+        """Eq. 9: with k < lambda + 1 a full rescan (r(|T|+|V|)) costs less
+        than writing and re-reading a 1/k share ((1+lambda)(|T|+|V|)/k), so
+        the cost grows with the number of materialized partitions."""
+        k = 8.0
+        low = cost.segmented_grace_cost(1.0, LEFT, RIGHT, k, 1.0, LAMBDA)
+        high = cost.segmented_grace_cost(7.0, LEFT, RIGHT, k, 1.0, LAMBDA)
+        assert high > low
+
+    def test_materializing_wins_when_k_exceeds_lambda_plus_one(self):
+        k = 30.0
+        low = cost.segmented_grace_cost(2.0, LEFT, RIGHT, k, 1.0, LAMBDA)
+        high = cost.segmented_grace_cost(28.0, LEFT, RIGHT, k, 1.0, LAMBDA)
+        assert high < low
+
+
+class TestLazyHashJoin:
+    def test_materialization_iteration_corrected_form(self):
+        """n* = floor(k lambda / (lambda + 1)), the corrected Eq. 11."""
+        assert cost.lazy_hash_materialization_iteration(16, 15.0) == 15
+        assert cost.lazy_hash_materialization_iteration(4, 3.0) == 3
+
+    def test_materialization_iteration_monotone_in_lambda(self):
+        low = cost.lazy_hash_materialization_iteration(10, 2.0)
+        high = cost.lazy_hash_materialization_iteration(10, 20.0)
+        assert high >= low
+
+    def test_lazy_cost_cheaper_than_simple_hash_join(self):
+        lazy = cost.lazy_hash_join_cost(LEFT, RIGHT, MEMORY, 1.0, LAMBDA)
+        simple = cost.hash_join_cost(LEFT, RIGHT, MEMORY, 1.0, LAMBDA)
+        assert lazy < simple
+
+    def test_validation(self):
+        with pytest.raises(CostModelError):
+            cost.lazy_hash_materialization_iteration(0, 15.0)
+        with pytest.raises(CostModelError):
+            cost.lazy_hash_join_cost(LEFT, RIGHT, 0.5)

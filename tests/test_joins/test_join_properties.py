@@ -1,0 +1,127 @@
+"""Property-based tests for the join algorithms (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.joins import (
+    GraceJoin,
+    HybridGraceNestedLoopsJoin,
+    LazyHashJoin,
+    NestedLoopsJoin,
+    SegmentedGraceJoin,
+    SimpleHashJoin,
+)
+from repro.pmem.backends import BlockedMemoryBackend
+from repro.pmem.device import PersistentMemoryDevice
+from repro.storage.bufferpool import MemoryBudget
+from repro.storage.collection import PersistentCollection
+from repro.storage.schema import WISCONSIN_SCHEMA
+
+
+def fresh_inputs(left_keys, right_keys):
+    device = PersistentMemoryDevice()
+    backend = BlockedMemoryBackend(device)
+    left = PersistentCollection(name="prop-L", backend=backend)
+    left.extend(WISCONSIN_SCHEMA.make_record(key) for key in left_keys)
+    left.seal()
+    right = PersistentCollection(name="prop-R", backend=backend)
+    right.extend(WISCONSIN_SCHEMA.make_record(key) for key in right_keys)
+    right.seal()
+    return backend, left, right
+
+
+def reference(left, right):
+    by_key = {}
+    for record in left.records:
+        by_key.setdefault(record[0], []).append(record)
+    return sorted(
+        l + r for r in right.records for l in by_key.get(r[0], [])
+    )
+
+
+key_lists = st.lists(st.integers(min_value=0, max_value=40), min_size=0, max_size=80)
+workspaces = st.integers(min_value=2, max_value=25)
+
+
+@settings(max_examples=20, deadline=None)
+@given(left_keys=key_lists, right_keys=key_lists, workspace=workspaces)
+@pytest.mark.parametrize(
+    "algorithm_cls,kwargs",
+    [
+        (NestedLoopsJoin, {}),
+        (SimpleHashJoin, {}),
+        (GraceJoin, {}),
+        (HybridGraceNestedLoopsJoin, {"left_intensity": 0.5, "right_intensity": 0.5}),
+        (SegmentedGraceJoin, {"write_intensity": 0.5}),
+        (LazyHashJoin, {}),
+    ],
+)
+def test_join_matches_reference_multiset(
+    algorithm_cls, kwargs, left_keys, right_keys, workspace
+):
+    """Every algorithm returns exactly the reference join's match multiset."""
+    backend, left, right = fresh_inputs(left_keys, right_keys)
+    budget = MemoryBudget.from_records(workspace)
+    result = algorithm_cls(backend, budget, **kwargs).join(left, right)
+    assert sorted(result.output.records) == reference(left, right)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    left_keys=st.lists(st.integers(min_value=0, max_value=30), min_size=5, max_size=60),
+    right_keys=st.lists(st.integers(min_value=0, max_value=30), min_size=5, max_size=60),
+    workspace=workspaces,
+    x=st.floats(min_value=0.0, max_value=1.0),
+    y=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_hybrid_join_correct_for_any_intensity_pair(
+    left_keys, right_keys, workspace, x, y
+):
+    """The (x, y) knob never affects the hybrid join's result."""
+    backend, left, right = fresh_inputs(left_keys, right_keys)
+    budget = MemoryBudget.from_records(workspace)
+    algorithm = HybridGraceNestedLoopsJoin(
+        backend, budget, left_intensity=x, right_intensity=y
+    )
+    assert sorted(algorithm.join(left, right).output.records) == reference(left, right)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    left_keys=st.lists(st.integers(min_value=0, max_value=30), min_size=5, max_size=60),
+    right_keys=st.lists(st.integers(min_value=0, max_value=30), min_size=5, max_size=60),
+    workspace=workspaces,
+    intensity=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_segmented_join_correct_for_any_intensity(
+    left_keys, right_keys, workspace, intensity
+):
+    backend, left, right = fresh_inputs(left_keys, right_keys)
+    budget = MemoryBudget.from_records(workspace)
+    algorithm = SegmentedGraceJoin(backend, budget, write_intensity=intensity)
+    assert sorted(algorithm.join(left, right).output.records) == reference(left, right)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    left_keys=st.lists(st.integers(min_value=0, max_value=50), min_size=10, max_size=80),
+    fanout=st.integers(min_value=1, max_value=5),
+    workspace=workspaces,
+)
+def test_lazy_join_never_writes_more_than_simple_hash_join(
+    left_keys, fanout, workspace
+):
+    """Laziness only removes writes relative to the eager algorithm."""
+    right_keys = [key for key in left_keys for _ in range(fanout)]
+    backend_a, left_a, right_a = fresh_inputs(left_keys, right_keys)
+    backend_b, left_b, right_b = fresh_inputs(left_keys, right_keys)
+    budget_a = MemoryBudget.from_records(workspace)
+    budget_b = MemoryBudget.from_records(workspace)
+    lazy = LazyHashJoin(backend_a, budget_a, materialize_output=False).join(
+        left_a, right_a
+    )
+    eager = SimpleHashJoin(backend_b, budget_b, materialize_output=False).join(
+        left_b, right_b
+    )
+    assert lazy.cacheline_writes <= eager.cacheline_writes + 1.0

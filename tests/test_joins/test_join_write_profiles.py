@@ -1,0 +1,181 @@
+"""Write/read profile tests for the joins: the paper's Figure 7 claims."""
+
+import pytest
+
+from repro.joins import (
+    GraceJoin,
+    HybridGraceNestedLoopsJoin,
+    LazyHashJoin,
+    NestedLoopsJoin,
+    SegmentedGraceJoin,
+    SimpleHashJoin,
+)
+from repro.storage.bufferpool import MemoryBudget
+
+
+def run(cls, backend, budget, left, right, **kwargs):
+    """Run with a pipelined output, matching the paper's cost accounting."""
+    algorithm = cls(backend, budget, materialize_output=False, **kwargs)
+    return algorithm.join(left, right)
+
+
+class TestWriteProfiles:
+    def test_nested_loops_writes_nothing(self, backend, small_join_inputs, join_budget):
+        left, right = small_join_inputs
+        result = run(NestedLoopsJoin, backend, join_budget, left, right)
+        assert result.cacheline_writes == 0
+
+    def test_grace_writes_both_inputs_once(self, backend, small_join_inputs, join_budget):
+        left, right = small_join_inputs
+        result = run(GraceJoin, backend, join_budget, left, right)
+        expected = (left.nbytes + right.nbytes) / 64
+        assert result.cacheline_writes == pytest.approx(expected, rel=0.05)
+
+    def test_simple_hash_join_writes_most(self, backend, small_join_inputs, join_budget):
+        left, right = small_join_inputs
+        hash_join = run(SimpleHashJoin, backend, join_budget, left, right)
+        grace = run(GraceJoin, backend, join_budget, left, right)
+        assert hash_join.cacheline_writes > grace.cacheline_writes
+
+    def test_write_limited_joins_write_less_than_grace(
+        self, backend, small_join_inputs, join_budget
+    ):
+        left, right = small_join_inputs
+        grace = run(GraceJoin, backend, join_budget, left, right)
+        for cls, kwargs in [
+            (HybridGraceNestedLoopsJoin, {"left_intensity": 0.5, "right_intensity": 0.5}),
+            (SegmentedGraceJoin, {"write_intensity": 0.5}),
+            (LazyHashJoin, {}),
+        ]:
+            result = run(cls, backend, join_budget, left, right, **kwargs)
+            assert result.cacheline_writes < grace.cacheline_writes
+
+    def test_lazy_join_writes_less_than_simple_hash_join(
+        self, backend, small_join_inputs, join_budget
+    ):
+        """Figure 7(d): LaJ's write profile beats HJ by a wide margin."""
+        left, right = small_join_inputs
+        lazy = run(LazyHashJoin, backend, join_budget, left, right)
+        hash_join = run(SimpleHashJoin, backend, join_budget, left, right)
+        assert lazy.cacheline_writes < hash_join.cacheline_writes / 2
+        assert lazy.cacheline_reads >= hash_join.cacheline_reads * 0.5
+
+    def test_write_limited_joins_trade_writes_for_reads(
+        self, backend, small_join_inputs, join_budget
+    ):
+        left, right = small_join_inputs
+        grace = run(GraceJoin, backend, join_budget, left, right)
+        segmented = run(
+            SegmentedGraceJoin, backend, join_budget, left, right, write_intensity=0.2
+        )
+        assert segmented.cacheline_writes < grace.cacheline_writes
+        assert segmented.cacheline_reads > grace.cacheline_reads
+
+
+class TestIntensityKnobs:
+    def test_segmented_intensity_increases_writes(
+        self, backend, small_join_inputs, join_budget
+    ):
+        left, right = small_join_inputs
+        low = run(
+            SegmentedGraceJoin, backend, join_budget, left, right, write_intensity=0.2
+        )
+        high = run(
+            SegmentedGraceJoin, backend, join_budget, left, right, write_intensity=0.8
+        )
+        assert high.cacheline_writes >= low.cacheline_writes
+        assert high.cacheline_reads <= low.cacheline_reads
+
+    def test_hybrid_right_intensity_drives_writes(
+        self, backend, small_join_inputs, join_budget
+    ):
+        left, right = small_join_inputs
+        low = run(
+            HybridGraceNestedLoopsJoin,
+            backend,
+            join_budget,
+            left,
+            right,
+            left_intensity=0.5,
+            right_intensity=0.2,
+        )
+        high = run(
+            HybridGraceNestedLoopsJoin,
+            backend,
+            join_budget,
+            left,
+            right,
+            left_intensity=0.5,
+            right_intensity=0.8,
+        )
+        assert high.cacheline_writes > low.cacheline_writes
+
+    def test_hybrid_left_intensity_reduces_right_passes(
+        self, backend, small_join_inputs, join_budget
+    ):
+        """Figure 10: the left intensity dictates the nested-loop passes."""
+        left, right = small_join_inputs
+        low = run(
+            HybridGraceNestedLoopsJoin,
+            backend,
+            join_budget,
+            left,
+            right,
+            left_intensity=0.2,
+            right_intensity=0.5,
+        )
+        high = run(
+            HybridGraceNestedLoopsJoin,
+            backend,
+            join_budget,
+            left,
+            right,
+            left_intensity=0.8,
+            right_intensity=0.5,
+        )
+        assert high.cacheline_reads < low.cacheline_reads
+
+    def test_segmented_full_intensity_close_to_grace(
+        self, backend, small_join_inputs, join_budget
+    ):
+        """At 100 % write intensity SegJ degenerates to Grace join plus nothing."""
+        left, right = small_join_inputs
+        grace = run(GraceJoin, backend, join_budget, left, right)
+        segmented = run(
+            SegmentedGraceJoin, backend, join_budget, left, right, write_intensity=1.0
+        )
+        assert segmented.cacheline_writes == pytest.approx(
+            grace.cacheline_writes, rel=0.1
+        )
+
+
+class TestMemoryBehaviour:
+    def test_write_limited_joins_catch_up_with_grace_as_memory_grows(
+        self, backend, small_join_inputs
+    ):
+        """Figure 7(a): the write-limited joins overtake GJ at larger memory."""
+        left, right = small_join_inputs
+        large_budget = MemoryBudget.fraction_of(left, 0.25)
+        grace = run(GraceJoin, backend, large_budget, left, right)
+        lazy = run(LazyHashJoin, backend, large_budget, left, right)
+        segmented = run(
+            SegmentedGraceJoin, backend, large_budget, left, right, write_intensity=0.5
+        )
+        assert lazy.io.total_ns <= grace.io.total_ns * 1.1
+        assert segmented.io.total_ns <= grace.io.total_ns * 1.1
+
+    def test_grace_insensitive_to_memory(self, backend, small_join_inputs):
+        left, right = small_join_inputs
+        small = run(GraceJoin, backend, MemoryBudget.fraction_of(left, 0.05), left, right)
+        large = run(GraceJoin, backend, MemoryBudget.fraction_of(left, 0.25), left, right)
+        assert small.cacheline_writes == pytest.approx(large.cacheline_writes, rel=0.05)
+
+    def test_nested_loops_improves_with_memory(self, backend, small_join_inputs):
+        left, right = small_join_inputs
+        small = run(
+            NestedLoopsJoin, backend, MemoryBudget.fraction_of(left, 0.05), left, right
+        )
+        large = run(
+            NestedLoopsJoin, backend, MemoryBudget.fraction_of(left, 0.25), left, right
+        )
+        assert large.cacheline_reads < small.cacheline_reads

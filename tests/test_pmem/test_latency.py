@@ -1,0 +1,109 @@
+"""Tests for the latency model."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.pmem.latency import (
+    DEFAULT_READ_LATENCY_NS,
+    DEFAULT_WRITE_LATENCY_NS,
+    LatencyModel,
+    sensitivity_models,
+)
+
+
+class TestDefaults:
+    def test_paper_default_read_latency(self):
+        assert LatencyModel.paper_default().read_ns == 10.0
+
+    def test_paper_default_write_latency(self):
+        assert LatencyModel.paper_default().write_ns == 150.0
+
+    def test_default_constants_match_paper(self):
+        assert DEFAULT_READ_LATENCY_NS == 10.0
+        assert DEFAULT_WRITE_LATENCY_NS == 150.0
+
+    def test_default_ratio_is_fifteen(self):
+        assert LatencyModel().write_read_ratio == pytest.approx(15.0)
+
+    def test_default_is_asymmetric(self):
+        assert LatencyModel().is_asymmetric
+
+    def test_symmetric_model(self):
+        model = LatencyModel.symmetric(25.0)
+        assert model.read_ns == model.write_ns == 25.0
+        assert not model.is_asymmetric
+
+
+class TestCosts:
+    def test_read_cost_scales_linearly(self):
+        model = LatencyModel()
+        assert model.read_cost_ns(10) == pytest.approx(100.0)
+
+    def test_write_cost_scales_linearly(self):
+        model = LatencyModel()
+        assert model.write_cost_ns(10) == pytest.approx(1500.0)
+
+    def test_fractional_cachelines_allowed(self):
+        model = LatencyModel()
+        assert model.read_cost_ns(0.5) == pytest.approx(5.0)
+
+    def test_negative_read_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LatencyModel().read_cost_ns(-1)
+
+    def test_negative_write_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LatencyModel().write_cost_ns(-1)
+
+
+class TestDerivedModels:
+    def test_with_write_latency(self):
+        model = LatencyModel().with_write_latency(200.0)
+        assert model.write_ns == 200.0
+        assert model.read_ns == 10.0
+
+    def test_with_read_latency(self):
+        model = LatencyModel().with_read_latency(20.0)
+        assert model.read_ns == 20.0
+        assert model.write_ns == 150.0
+
+    def test_with_ratio(self):
+        model = LatencyModel().with_ratio(5.0)
+        assert model.write_read_ratio == pytest.approx(5.0)
+
+    def test_from_ratio(self):
+        model = LatencyModel.from_ratio(8.0, read_ns=20.0)
+        assert model.write_ns == pytest.approx(160.0)
+
+    def test_from_ratio_rejects_non_positive(self):
+        with pytest.raises(ConfigurationError):
+            LatencyModel.from_ratio(0.0)
+
+    def test_with_ratio_rejects_non_positive(self):
+        with pytest.raises(ConfigurationError):
+            LatencyModel().with_ratio(-1.0)
+
+    def test_sensitivity_models_match_paper_sweep(self):
+        models = sensitivity_models()
+        assert [m.write_ns for m in models] == [50.0, 100.0, 150.0, 200.0]
+        assert all(m.read_ns == 10.0 for m in models)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("read_ns", [0.0, -5.0])
+    def test_invalid_read_latency(self, read_ns):
+        with pytest.raises(ConfigurationError):
+            LatencyModel(read_ns=read_ns)
+
+    @pytest.mark.parametrize("write_ns", [0.0, -5.0])
+    def test_invalid_write_latency(self, write_ns):
+        with pytest.raises(ConfigurationError):
+            LatencyModel(write_ns=write_ns)
+
+    def test_negative_dram_latency(self):
+        with pytest.raises(ConfigurationError):
+            LatencyModel(dram_ns=-1.0)
+
+    def test_model_is_frozen(self):
+        with pytest.raises(AttributeError):
+            LatencyModel().read_ns = 5.0

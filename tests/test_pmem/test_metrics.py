@@ -1,0 +1,106 @@
+"""Tests for I/O counters and snapshots."""
+
+import pytest
+
+from repro.pmem.metrics import IOCounters, IOSnapshot
+
+
+class TestIOCounters:
+    def test_initially_zero(self):
+        counters = IOCounters()
+        assert counters.cacheline_reads == 0
+        assert counters.cacheline_writes == 0
+        assert counters.total_ns == 0
+
+    def test_record_read_accumulates(self):
+        counters = IOCounters()
+        counters.record_read(cachelines=2.0, nbytes=128, cost_ns=20.0)
+        counters.record_read(cachelines=1.0, nbytes=64, cost_ns=10.0)
+        assert counters.cacheline_reads == pytest.approx(3.0)
+        assert counters.bytes_read == 192
+        assert counters.read_calls == 2
+        assert counters.transfer_ns == pytest.approx(30.0)
+
+    def test_record_write_accumulates(self):
+        counters = IOCounters()
+        counters.record_write(cachelines=4.0, nbytes=256, cost_ns=600.0)
+        assert counters.cacheline_writes == pytest.approx(4.0)
+        assert counters.bytes_written == 256
+        assert counters.write_calls == 1
+
+    def test_overhead_breakdown_by_label(self):
+        counters = IOCounters()
+        counters.record_overhead(100.0, label="syscall")
+        counters.record_overhead(50.0, label="syscall")
+        counters.record_overhead(30.0, label="reallocation")
+        assert counters.overhead_ns == pytest.approx(180.0)
+        assert counters.overhead_breakdown["syscall"] == pytest.approx(150.0)
+        assert counters.overhead_breakdown["reallocation"] == pytest.approx(30.0)
+
+    def test_total_ns_is_transfer_plus_overhead(self):
+        counters = IOCounters()
+        counters.record_read(1.0, 64, 10.0)
+        counters.record_overhead(5.0)
+        assert counters.total_ns == pytest.approx(15.0)
+
+    def test_total_cachelines(self):
+        counters = IOCounters()
+        counters.record_read(2.0, 128, 20.0)
+        counters.record_write(3.0, 192, 450.0)
+        assert counters.total_cachelines == pytest.approx(5.0)
+
+    def test_reset_clears_everything(self):
+        counters = IOCounters()
+        counters.record_read(2.0, 128, 20.0)
+        counters.record_overhead(5.0, label="x")
+        counters.reset()
+        assert counters.cacheline_reads == 0
+        assert counters.overhead_ns == 0
+        assert counters.overhead_breakdown == {}
+
+    def test_snapshot_is_frozen_copy(self):
+        counters = IOCounters()
+        counters.record_write(1.0, 64, 150.0)
+        snapshot = counters.snapshot()
+        counters.record_write(1.0, 64, 150.0)
+        assert snapshot.cacheline_writes == pytest.approx(1.0)
+        assert counters.cacheline_writes == pytest.approx(2.0)
+
+
+class TestIOSnapshot:
+    def test_subtraction_gives_delta(self):
+        before = IOSnapshot(cacheline_reads=10.0, cacheline_writes=5.0, transfer_ns=100.0)
+        after = IOSnapshot(cacheline_reads=25.0, cacheline_writes=8.0, transfer_ns=400.0)
+        delta = after - before
+        assert delta.cacheline_reads == pytest.approx(15.0)
+        assert delta.cacheline_writes == pytest.approx(3.0)
+        assert delta.transfer_ns == pytest.approx(300.0)
+
+    def test_addition_combines(self):
+        a = IOSnapshot(cacheline_reads=1.0, overhead_ns=10.0)
+        b = IOSnapshot(cacheline_reads=2.0, overhead_ns=5.0)
+        combined = a + b
+        assert combined.cacheline_reads == pytest.approx(3.0)
+        assert combined.overhead_ns == pytest.approx(15.0)
+
+    def test_total_seconds(self):
+        snapshot = IOSnapshot(transfer_ns=2e9, overhead_ns=1e9)
+        assert snapshot.total_seconds == pytest.approx(3.0)
+
+    def test_write_fraction(self):
+        snapshot = IOSnapshot(cacheline_reads=3.0, cacheline_writes=1.0)
+        assert snapshot.write_fraction == pytest.approx(0.25)
+
+    def test_write_fraction_idle(self):
+        assert IOSnapshot().write_fraction == 0.0
+
+    def test_as_dict_round_trip(self):
+        snapshot = IOSnapshot(cacheline_reads=2.0, cacheline_writes=4.0, transfer_ns=7.0)
+        payload = snapshot.as_dict()
+        assert payload["cacheline_reads"] == 2.0
+        assert payload["cacheline_writes"] == 4.0
+        assert payload["total_ns"] == pytest.approx(7.0)
+
+    def test_snapshot_is_immutable(self):
+        with pytest.raises(AttributeError):
+            IOSnapshot().cacheline_reads = 1.0

@@ -1,0 +1,225 @@
+"""Tests for the operator context: declare, record, assess, produce."""
+
+import pytest
+
+from repro.exceptions import (
+    ConfigurationError,
+    GraphConsistencyError,
+    UnknownCollectionError,
+)
+from repro.joins.common import partition_of
+from repro.runtime.context import OperatorContext
+from repro.storage.collection import CollectionStatus
+from repro.storage.schema import WISCONSIN_SCHEMA
+
+from tests.conftest import build_collection
+
+
+@pytest.fixture
+def context(backend):
+    return OperatorContext(backend)
+
+
+@pytest.fixture
+def source(backend, context):
+    collection = build_collection(backend, range(100), name="source")
+    return context.register(collection, expected_records=100)
+
+
+class TestDeclarationAndNaming:
+    def test_create_name_is_unique(self, context):
+        assert context.create_name() != context.create_name()
+
+    def test_declare_defaults_to_deferred(self, context):
+        collection = context.declare()
+        assert collection.is_deferred
+        assert collection.context is context
+
+    def test_register_rejects_duplicates(self, context, source):
+        with pytest.raises(ConfigurationError):
+            context.register(source)
+
+    def test_collection_lookup(self, context, source):
+        assert context.collection("source") is source
+        with pytest.raises(UnknownCollectionError):
+            context.collection("missing")
+
+    def test_registered_primary_input_is_available(self, context, source):
+        assert context.is_available("source")
+        assert not context.is_pending("source")
+
+
+class TestPrimitives:
+    def test_split_records_call_and_estimates(self, context, source):
+        low, high = context.split(source, 30)
+        assert context.graph.producer_of(low.name).kind.value == "split"
+        assert context.estimated_cardinality(low.name) == 30
+        assert context.estimated_cardinality(high.name) == 70
+
+    def test_partition_records_call(self, context, source):
+        outputs = context.partition(
+            source, lambda record: record[0] % 4, num_partitions=4
+        )
+        assert len(outputs) == 4
+        assert all(output.is_deferred for output in outputs)
+        assert context.estimated_cardinality(outputs[0].name) == 25
+
+    def test_partition_output_count_validation(self, context, source):
+        outputs = [context.declare() for _ in range(3)]
+        with pytest.raises(ConfigurationError):
+            context.partition(source, lambda r: 0, num_partitions=4, outputs=outputs)
+
+    def test_filter_records_call(self, context, source):
+        output = context.filter(source, lambda record: record[0] < 10, selectivity=0.1)
+        assert context.graph.producer_of(output.name).kind.value == "filter"
+        assert context.estimated_cardinality(output.name) == 10
+
+    def test_merge_runs_the_functor_eagerly(self, context, source, backend):
+        target = context.declare(status=CollectionStatus.MEMORY)
+        calls = []
+
+        def merge_fn(left, right, output):
+            calls.append((left.name, right.name, output.name))
+
+        context.merge(source, source, merge_fn, target)
+        assert calls == [("source", "source", target.name)]
+        assert context.graph.consumer_count("source") == 2
+
+
+class TestReconstruction:
+    def test_reconstruct_split(self, context, source):
+        low, high = context.split(source, 30)
+        assert [r[0] for r in context.reconstruct(low.name)] == [
+            r[0] for r in source.records[:30]
+        ]
+        assert len(list(context.reconstruct(high.name))) == 70
+
+    def test_reconstruct_partition(self, context, source):
+        outputs = context.partition(source, lambda r: r[0] % 3, num_partitions=3)
+        rebuilt = list(context.reconstruct(outputs[1].name))
+        assert all(record[0] % 3 == 1 for record in rebuilt)
+        expected = [r for r in source.records if r[0] % 3 == 1]
+        assert rebuilt == expected
+
+    def test_reconstruct_filter(self, context, source):
+        output = context.filter(source, lambda r: r[0] >= 90, selectivity=0.1)
+        assert sorted(r[0] for r in context.reconstruct(output.name)) == list(
+            range(90, 100)
+        )
+
+    def test_reconstruct_chained_derivation(self, context, source):
+        low, _ = context.split(source, 50)
+        filtered = context.filter(low, lambda r: r[0] % 2 == 0, selectivity=0.5)
+        rebuilt = [r[0] for r in context.reconstruct(filtered.name)]
+        assert rebuilt == [r[0] for r in source.records[:50] if r[0] % 2 == 0]
+
+    def test_reconstruct_with_slice(self, context, source):
+        low, _ = context.split(source, 50)
+        sliced = list(context.reconstruct(low.name, start=10, stop=20))
+        assert sliced == source.records[10:20]
+
+    def test_scanning_a_deferred_collection_goes_through_context(self, context, source):
+        low, _ = context.split(source, 25)
+        assert [r[0] for r in low.scan()] == [r[0] for r in source.records[:25]]
+        assert len(low) == 25
+
+    def test_reconstruct_charges_reads_but_no_writes(self, context, source, device):
+        outputs = context.partition(source, lambda r: r[0] % 2, num_partitions=2)
+        before = device.snapshot()
+        list(context.reconstruct(outputs[0].name))
+        delta = device.snapshot() - before
+        assert delta.cacheline_reads > 0
+        assert delta.cacheline_writes == 0
+
+    def test_merge_outputs_cannot_be_rederived(self, context, source):
+        target = context.declare(status=CollectionStatus.MEMORY)
+        context.merge(source, source, lambda a, b, c: None, target)
+        other = context.declare()
+        context.graph.add_call(
+            __import__("repro.runtime.api", fromlist=["MergeCall"]).MergeCall(
+                merge_fn=lambda a, b, c: None
+            ),
+            (source.name,),
+            (other.name,),
+        )
+        with pytest.raises(GraphConsistencyError):
+            list(context.reconstruct(other.name))
+
+    def test_underived_unavailable_collection_raises(self, context):
+        orphan = context.declare()
+        with pytest.raises(GraphConsistencyError):
+            list(context.reconstruct(orphan.name))
+
+
+class TestProduce:
+    def test_produce_fills_and_charges_writes(self, context, source, device):
+        outputs = context.partition(
+            source, lambda r: partition_of(r[0], 2), num_partitions=2
+        )
+        for output in outputs:
+            output.mark_materialized()
+        context.graph.producer_of(outputs[0].name).group_decision = "materialize"
+        before = device.snapshot()
+        context.produce(outputs[0].name)
+        delta = device.snapshot() - before
+        assert delta.cacheline_writes > 0
+        assert context.is_available(outputs[0].name)
+        # The whole partition group was produced in the same source scan.
+        assert context.is_available(outputs[1].name)
+        total = sum(len(output.records) for output in outputs)
+        assert total == len(source.records)
+
+    def test_produce_is_idempotent(self, context, source):
+        low, _ = context.split(source, 10)
+        low.mark_materialized()
+        context.produce(low.name)
+        records_after_first = list(low.records)
+        context.produce(low.name)
+        assert low.records == records_after_first
+
+    def test_produce_deferred_collection_requires_assessment(self, context, source):
+        low, _ = context.split(source, 10)
+        with pytest.raises(GraphConsistencyError):
+            context.produce(low.name)
+
+    def test_produce_without_producer_raises(self, context, backend):
+        stray = context.declare()  # deferred, no producer call recorded
+        stray.mark_materialized()
+        with pytest.raises(GraphConsistencyError):
+            context.produce(stray.name)
+
+    def test_produce_is_noop_for_registered_materialized_collections(
+        self, context, backend
+    ):
+        ready = context.declare(status=CollectionStatus.MATERIALIZED)
+        context.produce(ready.name)  # already available (empty) -> no error
+        assert ready.records == []
+
+
+class TestCostBookkeeping:
+    def test_estimated_write_cost_uses_cardinality(self, context, source):
+        low, _ = context.split(source, 50)
+        cost = context.estimated_write_cost(low.name)
+        expected_cachelines = 50 * WISCONSIN_SCHEMA.record_bytes / 64
+        assert cost == pytest.approx(expected_cachelines * 150.0)
+
+    def test_construction_read_cost_uses_input_size(self, context, source):
+        low, _ = context.split(source, 50)
+        cost = context.estimated_construction_read_cost(low.name)
+        expected_cachelines = 100 * WISCONSIN_SCHEMA.record_bytes / 64
+        assert cost == pytest.approx(expected_cachelines * 10.0)
+
+    def test_accumulated_read_cost_grows_with_reconstructions(self, context, source):
+        outputs = context.partition(source, lambda r: r[0] % 2, num_partitions=2)
+        assert context.accumulated_read_cost([source.name]) == 0.0
+        list(context.reconstruct(outputs[0].name))
+        first = context.accumulated_read_cost([source.name])
+        list(context.reconstruct(outputs[1].name))
+        second = context.accumulated_read_cost([source.name])
+        assert second > first > 0
+
+    def test_process_count_hints(self, context, source):
+        context.set_process_count_hint(source.name, 5)
+        assert context.expected_process_count(source.name) == 5
+        with pytest.raises(ConfigurationError):
+            context.set_process_count_hint(source.name, -1)

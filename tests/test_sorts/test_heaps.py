@@ -1,0 +1,164 @@
+"""Tests for the heap structures used by the sorts."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.sorts.heaps import BoundedMaxHeap, ReplacementSelectionHeap
+from repro.storage.schema import WISCONSIN_SCHEMA
+
+
+def record(key):
+    return WISCONSIN_SCHEMA.make_record(key)
+
+
+class TestBoundedMaxHeap:
+    def test_capacity_validation(self):
+        with pytest.raises(ConfigurationError):
+            BoundedMaxHeap(0)
+
+    def test_retains_smallest(self):
+        heap = BoundedMaxHeap(3)
+        for position, key in enumerate([9, 1, 7, 3, 8, 2]):
+            heap.offer(key, position, record(key))
+        assert [r[0] for r in heap.drain_sorted()] == [1, 2, 3]
+
+    def test_offer_returns_displaced(self):
+        heap = BoundedMaxHeap(2)
+        assert heap.offer(5, 0, record(5)) is None
+        assert heap.offer(3, 1, record(3)) is None
+        displaced = heap.offer(1, 2, record(1))
+        assert displaced[0] == 5
+
+    def test_offer_rejects_larger_when_full(self):
+        heap = BoundedMaxHeap(2)
+        heap.offer(1, 0, record(1))
+        heap.offer(2, 1, record(2))
+        rejected = heap.offer(9, 2, record(9))
+        assert rejected[0] == 9
+        assert len(heap) == 2
+
+    def test_max_key_position(self):
+        heap = BoundedMaxHeap(3)
+        assert heap.max_key_position is None
+        heap.offer(5, 0, record(5))
+        heap.offer(2, 1, record(2))
+        assert heap.max_key_position == (5, 0)
+
+    def test_duplicate_keys_ordered_by_position(self):
+        heap = BoundedMaxHeap(2)
+        heap.offer(5, 0, record(5))
+        heap.offer(5, 1, record(5))
+        assert heap.max_key_position == (5, 1)
+        displaced = heap.offer(5, 2, record(5))
+        assert displaced is not None
+
+    def test_would_accept(self):
+        heap = BoundedMaxHeap(1)
+        assert heap.would_accept(10, 0)
+        heap.offer(10, 0, record(10))
+        assert heap.would_accept(5, 1)
+        assert not heap.would_accept(11, 1)
+
+    def test_drain_empties_heap(self):
+        heap = BoundedMaxHeap(4)
+        heap.offer(1, 0, record(1))
+        heap.drain_sorted()
+        assert len(heap) == 0
+
+    def test_clear(self):
+        heap = BoundedMaxHeap(4)
+        heap.offer(1, 0, record(1))
+        heap.clear()
+        assert len(heap) == 0
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=60))
+    def test_property_retains_k_smallest(self, keys):
+        capacity = 5
+        heap = BoundedMaxHeap(capacity)
+        for position, key in enumerate(keys):
+            heap.offer(key, position, record(key))
+        retained = sorted(r[0] for r in heap.drain_sorted())
+        assert retained == sorted(keys)[: min(capacity, len(keys))]
+
+
+class TestReplacementSelectionHeap:
+    def test_capacity_validation(self):
+        with pytest.raises(ConfigurationError):
+            ReplacementSelectionHeap(0, WISCONSIN_SCHEMA.key)
+
+    def test_fill_then_full(self):
+        heap = ReplacementSelectionHeap(2, WISCONSIN_SCHEMA.key)
+        heap.fill(record(3))
+        assert not heap.is_full
+        heap.fill(record(1))
+        assert heap.is_full
+        with pytest.raises(ConfigurationError):
+            heap.fill(record(2))
+
+    def test_push_pop_emits_ascending_within_run(self):
+        heap = ReplacementSelectionHeap(3, WISCONSIN_SCHEMA.key)
+        for key in [5, 2, 8]:
+            heap.fill(record(key))
+        emitted = []
+        for key in [9, 6, 7]:
+            rec, closed = heap.push_pop(record(key))
+            emitted.append(rec[0])
+            assert not closed
+        assert emitted == sorted(emitted)
+
+    def test_smaller_record_parks_for_next_run(self):
+        heap = ReplacementSelectionHeap(2, WISCONSIN_SCHEMA.key)
+        heap.fill(record(5))
+        heap.fill(record(6))
+        _, closed = heap.push_pop(record(1))  # 1 < emitted 5: next run
+        assert not closed
+        assert heap.next_size == 1
+
+    def test_run_closes_when_current_exhausted(self):
+        heap = ReplacementSelectionHeap(1, WISCONSIN_SCHEMA.key)
+        heap.fill(record(5))
+        _, closed = heap.push_pop(record(1))
+        assert closed
+        assert heap.current_size == 1  # rolled over to the next run
+
+    def test_drain_current_and_next(self):
+        heap = ReplacementSelectionHeap(2, WISCONSIN_SCHEMA.key)
+        heap.fill(record(4))
+        heap.fill(record(6))
+        heap.push_pop(record(1))
+        current = [r[0] for r in heap.drain_current()]
+        assert current == sorted(current)
+        assert heap.has_next_run()
+        nxt = [r[0] for r in heap.drain_next()]
+        assert nxt == [1]
+
+    def test_pop_current_on_empty_returns_none(self):
+        heap = ReplacementSelectionHeap(1, WISCONSIN_SCHEMA.key)
+        assert heap.pop_current() is None
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=500), min_size=5, max_size=80))
+    def test_property_runs_are_sorted_and_cover_input(self, keys):
+        capacity = 4
+        heap = ReplacementSelectionHeap(capacity, WISCONSIN_SCHEMA.key)
+        runs = [[]]
+        pending = list(keys)
+        for key in pending[:capacity]:
+            heap.fill(record(key))
+        for key in pending[capacity:]:
+            emitted, closed = heap.push_pop(record(key))
+            runs[-1].append(emitted[0])
+            if closed:
+                runs.append([])
+        for rec in heap.drain_current():
+            runs[-1].append(rec[0])
+        if heap.has_next_run():
+            runs.append([rec[0] for rec in heap.drain_next()])
+        # Every run is individually sorted and together they cover the input.
+        for run in runs:
+            assert run == sorted(run)
+        flattened = sorted(key for run in runs for key in run)
+        assert flattened == sorted(keys)

@@ -1,0 +1,107 @@
+"""Property-based tests for the sorting algorithms (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pmem.device import PersistentMemoryDevice
+from repro.pmem.backends import BlockedMemoryBackend
+from repro.sorts import (
+    ExternalMergeSort,
+    HybridSort,
+    LazySort,
+    SegmentSort,
+    SelectionSort,
+)
+from repro.storage.bufferpool import MemoryBudget
+from repro.storage.collection import PersistentCollection
+from repro.storage.schema import WISCONSIN_SCHEMA
+
+
+def fresh_collection(keys):
+    device = PersistentMemoryDevice()
+    backend = BlockedMemoryBackend(device)
+    collection = PersistentCollection(name="prop-input", backend=backend)
+    collection.extend(WISCONSIN_SCHEMA.make_record(key) for key in keys)
+    collection.seal()
+    return backend, collection
+
+
+key_lists = st.lists(st.integers(min_value=0, max_value=10_000), min_size=0, max_size=300)
+workspaces = st.integers(min_value=2, max_value=40)
+
+
+@settings(max_examples=25, deadline=None)
+@given(keys=key_lists, workspace=workspaces)
+@pytest.mark.parametrize(
+    "algorithm_cls,kwargs",
+    [
+        (ExternalMergeSort, {}),
+        (SelectionSort, {}),
+        (SegmentSort, {"write_intensity": 0.5}),
+        (HybridSort, {"write_intensity": 0.5}),
+        (LazySort, {}),
+    ],
+)
+def test_sort_is_a_sorted_permutation(algorithm_cls, kwargs, keys, workspace):
+    """Every algorithm returns exactly the sorted multiset of its input."""
+    backend, collection = fresh_collection(keys)
+    budget = MemoryBudget.from_records(workspace)
+    result = algorithm_cls(backend, budget, **kwargs).sort(collection)
+    assert [r[0] for r in result.output.records] == sorted(keys)
+    assert sorted(result.output.records) == sorted(collection.records)
+
+
+@settings(max_examples=25, deadline=None)
+@given(keys=key_lists, workspace=workspaces)
+def test_selection_sort_write_minimality_property(keys, workspace):
+    """Selection sort writes each record exactly once regardless of memory."""
+    backend, collection = fresh_collection(keys)
+    budget = MemoryBudget.from_records(workspace)
+    result = SelectionSort(backend, budget).sort(collection)
+    expected = collection.nbytes / 64
+    assert result.cacheline_writes == pytest.approx(expected, abs=1.0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    keys=st.lists(st.integers(min_value=0, max_value=500), min_size=20, max_size=200),
+    workspace=st.integers(min_value=4, max_value=30),
+    intensity=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_segment_sort_correct_for_any_intensity(keys, workspace, intensity):
+    """The write-intensity knob never affects correctness."""
+    backend, collection = fresh_collection(keys)
+    budget = MemoryBudget.from_records(workspace)
+    result = SegmentSort(backend, budget, write_intensity=intensity).sort(collection)
+    assert [r[0] for r in result.output.records] == sorted(keys)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    keys=st.lists(st.integers(min_value=0, max_value=500), min_size=1, max_size=200),
+    workspace=st.integers(min_value=3, max_value=30),
+)
+def test_device_clock_consistency_during_sort(keys, workspace):
+    """Simulated time equals reads*r + writes*w (no unaccounted overheads)."""
+    backend, collection = fresh_collection(keys)
+    budget = MemoryBudget.from_records(workspace)
+    result = ExternalMergeSort(backend, budget).sort(collection)
+    expected_ns = result.cacheline_reads * 10.0 + result.cacheline_writes * 150.0
+    assert result.io.total_ns == pytest.approx(expected_ns)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    keys=st.lists(st.integers(min_value=0, max_value=2000), min_size=50, max_size=250),
+    fraction=st.floats(min_value=0.05, max_value=0.5),
+)
+def test_lazy_sort_never_writes_more_than_exms(keys, fraction):
+    """The lazy algorithm's whole point: fewer writes than the baseline."""
+    backend_a, collection_a = fresh_collection(keys)
+    backend_b, collection_b = fresh_collection(keys)
+    budget_a = MemoryBudget.fraction_of(collection_a, fraction)
+    budget_b = MemoryBudget.fraction_of(collection_b, fraction)
+    lazy = LazySort(backend_a, budget_a).sort(collection_a)
+    exms = ExternalMergeSort(backend_b, budget_b).sort(collection_b)
+    assert lazy.cacheline_writes <= exms.cacheline_writes + 1.0

@@ -1,0 +1,131 @@
+"""Write/read profile tests: the paper's core claims about the sorts."""
+
+import pytest
+
+from repro.sorts import (
+    ExternalMergeSort,
+    HybridSort,
+    LazySort,
+    SegmentSort,
+    SelectionSort,
+)
+from repro.storage.bufferpool import MemoryBudget
+
+
+def run(cls, backend, budget, collection, **kwargs):
+    return cls(backend, budget, materialize_output=True, **kwargs).sort(collection)
+
+
+class TestWriteMinimality:
+    def test_selection_sort_writes_only_the_output(
+        self, backend, small_sort_input, sort_budget
+    ):
+        result = run(SelectionSort, backend, sort_budget, small_sort_input)
+        output_cachelines = small_sort_input.nbytes / 64
+        assert result.cacheline_writes == pytest.approx(output_cachelines, rel=0.05)
+
+    def test_lazy_sort_writes_near_minimum(
+        self, backend, small_sort_input, sort_budget
+    ):
+        result = run(LazySort, backend, sort_budget, small_sort_input)
+        output_cachelines = small_sort_input.nbytes / 64
+        # Lazy sort may add a few intermediate materializations but stays
+        # well under twice the minimum.
+        assert result.cacheline_writes < 2 * output_cachelines
+
+    def test_segment_sort_at_zero_intensity_is_write_minimal(
+        self, backend, small_sort_input, sort_budget
+    ):
+        result = run(
+            SegmentSort, backend, sort_budget, small_sort_input, write_intensity=0.0
+        )
+        output_cachelines = small_sort_input.nbytes / 64
+        assert result.cacheline_writes == pytest.approx(output_cachelines, rel=0.05)
+
+    def test_write_limited_sorts_never_exceed_exms_writes(
+        self, backend, small_sort_input, sort_budget
+    ):
+        exms = run(ExternalMergeSort, backend, sort_budget, small_sort_input)
+        for cls, kwargs in [
+            (SegmentSort, {"write_intensity": 0.2}),
+            (SegmentSort, {"write_intensity": 0.8}),
+            (LazySort, {}),
+            (SelectionSort, {}),
+        ]:
+            result = run(cls, backend, sort_budget, small_sort_input, **kwargs)
+            assert result.cacheline_writes <= exms.cacheline_writes * 1.001
+
+
+class TestWriteReadTradeoff:
+    def test_fewer_writes_come_with_more_reads(
+        self, backend, small_sort_input, sort_budget
+    ):
+        """The central trade of the paper: writes are exchanged for reads."""
+        exms = run(ExternalMergeSort, backend, sort_budget, small_sort_input)
+        lazy = run(LazySort, backend, sort_budget, small_sort_input)
+        assert lazy.cacheline_writes < exms.cacheline_writes
+        assert lazy.cacheline_reads > exms.cacheline_reads
+
+    def test_segment_intensity_increases_writes_and_decreases_reads(
+        self, backend, small_sort_input, sort_budget
+    ):
+        low = run(
+            SegmentSort, backend, sort_budget, small_sort_input, write_intensity=0.2
+        )
+        high = run(
+            SegmentSort, backend, sort_budget, small_sort_input, write_intensity=0.8
+        )
+        assert high.cacheline_writes >= low.cacheline_writes
+        assert high.cacheline_reads <= low.cacheline_reads
+
+    def test_exms_read_write_symmetry(self, backend, small_sort_input, sort_budget):
+        """External mergesort reads and writes the same volume."""
+        result = run(ExternalMergeSort, backend, sort_budget, small_sort_input)
+        assert result.cacheline_writes == pytest.approx(
+            result.cacheline_reads, rel=0.05
+        )
+
+
+class TestMemorySensitivity:
+    def test_more_memory_reduces_selection_sort_reads(self, backend, small_sort_input):
+        small = run(
+            SelectionSort,
+            backend,
+            MemoryBudget.fraction_of(small_sort_input, 0.05),
+            small_sort_input,
+        )
+        large = run(
+            SelectionSort,
+            backend,
+            MemoryBudget.fraction_of(small_sort_input, 0.20),
+            small_sort_input,
+        )
+        assert large.cacheline_reads < small.cacheline_reads
+        # Writes stay at the minimum in both cases.
+        assert large.cacheline_writes == pytest.approx(small.cacheline_writes, rel=0.05)
+
+    def test_more_memory_never_hurts_exms(self, backend, small_sort_input):
+        small = run(
+            ExternalMergeSort,
+            backend,
+            MemoryBudget.fraction_of(small_sort_input, 0.03),
+            small_sort_input,
+        )
+        large = run(
+            ExternalMergeSort,
+            backend,
+            MemoryBudget.fraction_of(small_sort_input, 0.20),
+            small_sort_input,
+        )
+        assert large.io.total_ns <= small.io.total_ns
+
+    def test_segment_sort_outperforms_exms_with_asymmetric_writes(
+        self, backend, small_sort_input
+    ):
+        """Figure 5: the write-limited SegS beats ExMS on response time."""
+        budget = MemoryBudget.fraction_of(small_sort_input, 0.10)
+        exms = run(ExternalMergeSort, backend, budget, small_sort_input)
+        segs = run(
+            SegmentSort, backend, budget, small_sort_input, write_intensity=0.5
+        )
+        assert segs.io.total_ns <= exms.io.total_ns * 1.05

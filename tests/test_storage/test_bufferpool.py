@@ -1,0 +1,117 @@
+"""Tests for memory budgets and the bufferpool."""
+
+import pytest
+
+from repro.exceptions import BufferpoolExhaustedError, ConfigurationError
+from repro.storage.bufferpool import Bufferpool, MemoryBudget
+from repro.storage.schema import WISCONSIN_SCHEMA
+
+from tests.conftest import build_collection
+
+
+class TestMemoryBudget:
+    def test_from_bytes(self):
+        assert MemoryBudget.from_bytes(4096).nbytes == 4096
+
+    def test_from_kilobytes_and_megabytes(self):
+        assert MemoryBudget.from_kilobytes(2).nbytes == 2048
+        assert MemoryBudget.from_megabytes(1).nbytes == 1024 * 1024
+
+    def test_from_records(self):
+        budget = MemoryBudget.from_records(100)
+        assert budget.nbytes == 8000
+        assert budget.record_capacity() == 100
+
+    def test_fraction_of_collection(self, backend):
+        collection = build_collection(backend, range(1000), name="frac")
+        budget = MemoryBudget.fraction_of(collection, 0.10)
+        assert budget.nbytes == pytest.approx(collection.nbytes * 0.10)
+
+    def test_fraction_of_enforces_minimum(self, backend):
+        collection = build_collection(backend, range(10), name="tiny-frac")
+        budget = MemoryBudget.fraction_of(collection, 0.01, minimum_records=4)
+        assert budget.record_capacity() >= 4
+
+    def test_buffers_is_cachelines(self):
+        budget = MemoryBudget.from_bytes(6400)
+        assert budget.buffers == pytest.approx(100.0)
+
+    def test_blocks(self):
+        assert MemoryBudget.from_bytes(4096).blocks == 4
+        assert MemoryBudget.from_bytes(100).blocks == 1
+
+    def test_record_capacity_never_zero(self):
+        assert MemoryBudget.from_bytes(10).record_capacity() == 1
+
+    def test_merge_fan_in_uses_buffers(self):
+        budget = MemoryBudget.from_bytes(64 * 10)
+        assert budget.merge_fan_in() == 9
+
+    def test_merge_fan_in_floor_of_two(self):
+        assert MemoryBudget.from_bytes(64).merge_fan_in() == 2
+
+    def test_split(self):
+        first, second = MemoryBudget.from_bytes(1000).split(0.3)
+        assert first.nbytes + second.nbytes == 1000
+        assert first.nbytes == 300
+
+    def test_split_validation(self):
+        with pytest.raises(ConfigurationError):
+            MemoryBudget.from_bytes(1000).split(1.5)
+
+    def test_multiplication(self):
+        assert (MemoryBudget.from_bytes(1000) * 0.5).nbytes == 500
+        assert (2 * MemoryBudget.from_bytes(1000)).nbytes == 2000
+
+    @pytest.mark.parametrize("nbytes", [0, -10])
+    def test_non_positive_budget_rejected(self, nbytes):
+        with pytest.raises(ConfigurationError):
+            MemoryBudget.from_bytes(nbytes)
+
+    def test_negative_record_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemoryBudget.from_records(0, WISCONSIN_SCHEMA)
+
+
+class TestBufferpool:
+    def test_reserve_within_budget(self):
+        pool = Bufferpool(MemoryBudget.from_bytes(1000))
+        pool.reserve(600, owner="sort")
+        assert pool.reserved_bytes == 600
+        assert pool.available_bytes == 400
+
+    def test_over_reservation_raises(self):
+        pool = Bufferpool(MemoryBudget.from_bytes(1000))
+        pool.reserve(600, owner="sort")
+        with pytest.raises(BufferpoolExhaustedError):
+            pool.reserve(500, owner="join")
+
+    def test_release_frees_space(self):
+        pool = Bufferpool(MemoryBudget.from_bytes(1000))
+        pool.reserve(600, owner="sort")
+        pool.release("sort")
+        pool.reserve(1000, owner="join")
+        assert pool.available_bytes == 0
+
+    def test_release_unknown_owner_is_noop(self):
+        pool = Bufferpool(MemoryBudget.from_bytes(1000))
+        pool.release("nobody")
+        assert pool.reserved_bytes == 0
+
+    def test_workspace_context_manager(self):
+        pool = Bufferpool(MemoryBudget.from_bytes(1000))
+        with pool.workspace(800, owner="sort"):
+            assert pool.available_bytes == 200
+        assert pool.available_bytes == 1000
+
+    def test_workspace_releases_on_error(self):
+        pool = Bufferpool(MemoryBudget.from_bytes(1000))
+        with pytest.raises(RuntimeError):
+            with pool.workspace(800, owner="sort"):
+                raise RuntimeError("boom")
+        assert pool.available_bytes == 1000
+
+    def test_negative_reservation_rejected(self):
+        pool = Bufferpool(MemoryBudget.from_bytes(1000))
+        with pytest.raises(ConfigurationError):
+            pool.reserve(-1, owner="sort")

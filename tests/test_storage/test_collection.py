@@ -1,0 +1,166 @@
+"""Tests for persistent collections."""
+
+import pytest
+
+from repro.exceptions import CollectionStateError, ConfigurationError
+from repro.storage.collection import CollectionStatus, PersistentCollection
+from repro.storage.schema import WISCONSIN_SCHEMA
+
+from tests.conftest import build_collection
+
+
+class TestLifecycle:
+    def test_materialized_requires_backend(self):
+        with pytest.raises(ConfigurationError):
+            PersistentCollection(status=CollectionStatus.MATERIALIZED, backend=None)
+
+    def test_memory_collection_needs_no_backend(self):
+        collection = PersistentCollection(status=CollectionStatus.MEMORY)
+        collection.append(WISCONSIN_SCHEMA.make_record(1))
+        assert len(collection) == 1
+
+    def test_auto_generated_names_are_unique(self):
+        first = PersistentCollection(status=CollectionStatus.MEMORY)
+        second = PersistentCollection(status=CollectionStatus.MEMORY)
+        assert first.name != second.name
+
+    def test_status_flags(self, backend):
+        materialized = PersistentCollection(backend=backend)
+        assert materialized.is_materialized
+        deferred = PersistentCollection(status=CollectionStatus.DEFERRED)
+        assert deferred.is_deferred
+        memory = PersistentCollection(status=CollectionStatus.MEMORY)
+        assert memory.is_memory
+
+    def test_seal_prevents_appends(self, backend):
+        collection = build_collection(backend, range(5), name="sealed")
+        with pytest.raises(CollectionStateError):
+            collection.append(WISCONSIN_SCHEMA.make_record(6))
+
+    def test_clear_resets_and_allows_appends(self, backend):
+        collection = build_collection(backend, range(5), name="clearable")
+        collection.clear()
+        assert len(collection) == 0
+        collection.append(WISCONSIN_SCHEMA.make_record(1))
+        assert len(collection) == 1
+
+    def test_drop_removes_backend_store(self, backend):
+        collection = build_collection(backend, range(5), name="droppable")
+        assert backend.has_store("droppable")
+        collection.drop()
+        assert not backend.has_store("droppable")
+
+    def test_append_to_deferred_raises(self):
+        deferred = PersistentCollection(status=CollectionStatus.DEFERRED)
+        with pytest.raises(CollectionStateError):
+            deferred.append(WISCONSIN_SCHEMA.make_record(1))
+
+    def test_scan_deferred_without_context_raises(self):
+        deferred = PersistentCollection(status=CollectionStatus.DEFERRED)
+        with pytest.raises(CollectionStateError):
+            list(deferred.scan())
+
+    def test_len_of_deferred_without_context_raises(self):
+        deferred = PersistentCollection(status=CollectionStatus.DEFERRED)
+        with pytest.raises(CollectionStateError):
+            len(deferred)
+
+    def test_mark_materialized_promotes_deferred(self, backend):
+        deferred = PersistentCollection(
+            name="promote-me", backend=backend, status=CollectionStatus.DEFERRED
+        )
+        deferred.mark_materialized()
+        assert deferred.is_materialized
+        deferred.append(WISCONSIN_SCHEMA.make_record(1))
+        assert len(deferred) == 1
+
+    def test_mark_materialized_without_backend_raises(self):
+        deferred = PersistentCollection(status=CollectionStatus.DEFERRED)
+        with pytest.raises(CollectionStateError):
+            deferred.mark_materialized()
+
+
+class TestScanSemantics:
+    def test_scan_preserves_insertion_order(self, backend):
+        keys = [5, 3, 9, 1]
+        collection = build_collection(backend, keys, name="ordered")
+        assert [r[0] for r in collection.scan()] == keys
+
+    def test_scan_slice(self, backend):
+        collection = build_collection(backend, range(10), name="sliced")
+        assert [r[0] for r in collection.scan(start=3, stop=6)] == [3, 4, 5]
+
+    def test_iter_protocol(self, backend):
+        collection = build_collection(backend, range(4), name="iterable")
+        assert len(list(collection)) == 4
+
+    def test_keys_helper(self, backend):
+        collection = build_collection(backend, [4, 2, 7], name="keyed")
+        assert collection.keys() == [4, 2, 7]
+
+    def test_is_sorted(self, backend):
+        assert build_collection(backend, [1, 2, 3], name="s1").is_sorted()
+        assert not build_collection(backend, [3, 1, 2], name="s2").is_sorted()
+
+    def test_nbytes(self, backend):
+        collection = build_collection(backend, range(10), name="sized")
+        assert collection.nbytes == 800
+
+    def test_num_buffers(self, backend):
+        collection = build_collection(backend, range(8), name="buffered")
+        assert collection.num_buffers == pytest.approx(10.0)  # 640 bytes / 64
+
+
+class TestIOCharging:
+    def test_memory_collection_charges_nothing(self, device, backend):
+        collection = PersistentCollection(status=CollectionStatus.MEMORY)
+        collection.extend(WISCONSIN_SCHEMA.make_record(i) for i in range(100))
+        list(collection.scan())
+        assert device.elapsed_ns == 0
+
+    def test_append_charges_block_granular_writes(self, device, backend):
+        collection = PersistentCollection(name="writes", backend=backend)
+        before = device.snapshot()
+        collection.extend(WISCONSIN_SCHEMA.make_record(i) for i in range(100))
+        collection.flush()
+        delta = device.snapshot() - before
+        assert delta.cacheline_writes == pytest.approx(8000 / 64)
+        assert delta.cacheline_reads == 0
+
+    def test_scan_charges_reads(self, device, backend):
+        collection = build_collection(backend, range(100), name="reads")
+        before = device.snapshot()
+        list(collection.scan())
+        delta = device.snapshot() - before
+        assert delta.cacheline_reads == pytest.approx(8000 / 64)
+        assert delta.cacheline_writes == 0
+
+    def test_scan_slice_charges_only_slice(self, device, backend):
+        collection = build_collection(backend, range(100), name="partial")
+        before = device.snapshot()
+        list(collection.scan(start=50))
+        delta = device.snapshot() - before
+        assert delta.cacheline_reads == pytest.approx(4000 / 64)
+
+    def test_partial_scan_stops_charging(self, device, backend):
+        collection = build_collection(backend, range(100), name="early-stop")
+        before = device.snapshot()
+        iterator = collection.scan()
+        for _ in range(10):
+            next(iterator)
+        iterator.close()
+        delta = device.snapshot() - before
+        assert delta.cacheline_reads <= 8000 / 64 / 2
+
+    def test_flush_writes_partial_block(self, device, backend):
+        collection = PersistentCollection(name="tiny", backend=backend)
+        collection.append(WISCONSIN_SCHEMA.make_record(1))
+        assert device.counters.cacheline_writes == 0  # buffered
+        collection.flush()
+        assert device.counters.cacheline_writes == pytest.approx(80 / 64)
+
+    def test_seal_flushes(self, device, backend):
+        collection = PersistentCollection(name="seal-flush", backend=backend)
+        collection.append(WISCONSIN_SCHEMA.make_record(1))
+        collection.seal()
+        assert device.counters.cacheline_writes > 0

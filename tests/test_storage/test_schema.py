@@ -1,0 +1,86 @@
+"""Tests for record schemas."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.storage.schema import JoinedSchema, Schema, WISCONSIN_SCHEMA
+
+
+class TestWisconsinSchema:
+    def test_paper_record_size_is_80_bytes(self):
+        assert WISCONSIN_SCHEMA.record_bytes == 80
+
+    def test_ten_attributes(self):
+        assert WISCONSIN_SCHEMA.num_fields == 10
+
+    def test_key_is_first_attribute(self):
+        record = WISCONSIN_SCHEMA.make_record(42)
+        assert WISCONSIN_SCHEMA.key(record) == 42
+
+    def test_make_record_has_schema_arity(self):
+        record = WISCONSIN_SCHEMA.make_record(7)
+        WISCONSIN_SCHEMA.validate_record(record)
+        assert len(record) == 10
+
+    def test_derived_attributes_are_deterministic(self):
+        assert WISCONSIN_SCHEMA.make_record(9) == WISCONSIN_SCHEMA.make_record(9)
+
+    def test_derived_attributes_vary_with_key(self):
+        assert WISCONSIN_SCHEMA.make_record(9) != WISCONSIN_SCHEMA.make_record(10)
+
+    @given(st.integers(min_value=0, max_value=10**9))
+    def test_make_record_key_round_trip(self, key):
+        assert WISCONSIN_SCHEMA.key(WISCONSIN_SCHEMA.make_record(key)) == key
+
+
+class TestSchemaConversions:
+    def test_records_in(self):
+        assert WISCONSIN_SCHEMA.records_in(800) == 10
+        assert WISCONSIN_SCHEMA.records_in(79) == 0
+
+    def test_bytes_for(self):
+        assert WISCONSIN_SCHEMA.bytes_for(100) == 8000
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WISCONSIN_SCHEMA.records_in(-1)
+        with pytest.raises(ConfigurationError):
+            WISCONSIN_SCHEMA.bytes_for(-1)
+
+    def test_validate_record_wrong_arity(self):
+        with pytest.raises(ConfigurationError):
+            WISCONSIN_SCHEMA.validate_record((1, 2, 3))
+
+    def test_custom_schema(self):
+        schema = Schema(num_fields=4, field_bytes=4, key_index=2)
+        assert schema.record_bytes == 16
+        record = schema.make_record(5)
+        assert record[2] == 5
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_fields": 0},
+            {"field_bytes": 0},
+            {"key_index": 10},
+            {"key_index": -1},
+        ],
+    )
+    def test_invalid_schema_parameters(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            Schema(**kwargs)
+
+
+class TestJoinedSchema:
+    def test_concatenated_size(self):
+        joined = JoinedSchema(WISCONSIN_SCHEMA, WISCONSIN_SCHEMA)
+        assert joined.num_fields == 20
+        assert joined.record_bytes == 160
+
+    def test_combine_concatenates(self):
+        joined = JoinedSchema(WISCONSIN_SCHEMA, WISCONSIN_SCHEMA)
+        left = WISCONSIN_SCHEMA.make_record(1)
+        right = WISCONSIN_SCHEMA.make_record(2)
+        assert joined.combine(left, right) == left + right
