@@ -24,7 +24,11 @@ from repro.pmem.backends.base import PersistenceBackend
 from repro.pmem.metrics import IOSnapshot
 from repro.sorts.segment_sort import SegmentSort
 from repro.storage.bufferpool import MemoryBudget
-from repro.storage.collection import CollectionStatus, PersistentCollection
+from repro.storage.collection import (
+    AppendBuffer,
+    CollectionStatus,
+    PersistentCollection,
+)
 from repro.storage.schema import Schema, WISCONSIN_SCHEMA
 
 
@@ -186,19 +190,21 @@ class SortedAggregation(_AggregationBase):
         groups = 0
         current_key = None
         states = self._fresh_states()
-        for record in sort_result.output.scan():
-            key = record[self.group_index]
-            if current_key is None:
-                current_key = key
-            if key != current_key:
-                output.append(self._finalize(current_key, states))
-                groups += 1
-                current_key = key
-                states = self._fresh_states()
-            states = self._step_states(states, record)
-        output.append(self._finalize(current_key, states))
+        emitted = AppendBuffer(output)
+        for block in sort_result.output.scan_blocks():
+            for record in block:
+                key = record[self.group_index]
+                if current_key is None:
+                    current_key = key
+                if key != current_key:
+                    emitted.append(self._finalize(current_key, states))
+                    groups += 1
+                    current_key = key
+                    states = self._fresh_states()
+                states = self._step_states(states, record)
+        emitted.append(self._finalize(current_key, states))
         groups += 1
-        output.seal()
+        emitted.seal()
         return AggregationResult(
             output=output,
             io=None,
@@ -232,9 +238,10 @@ class HashAggregation(_AggregationBase):
         max_groups = max(1, self.budget.nbytes // self.GROUP_STATE_BYTES)
         spills = 0
         groups = 0
+        emitted_groups = AppendBuffer(output)
 
-        def aggregate_stream(records, label: str, depth: int) -> int:
-            """Aggregate a record stream, spilling overflow groups.
+        def aggregate_stream(source, label: str, depth: int) -> int:
+            """Aggregate a collection's records, spilling overflow groups.
 
             A group's records are never split between the in-memory table
             and the spills: once a key owns a table entry every later record
@@ -245,50 +252,53 @@ class HashAggregation(_AggregationBase):
             nonlocal spills
             table: dict[int, list] = {}
             partitions: list[PersistentCollection | None] = [None] * self.SPILL_PARTITIONS
+            buffers: list[AppendBuffer | None] = [None] * self.SPILL_PARTITIONS
             spilled_records = 0
-            for record in records:
-                key = record[self.group_index]
-                states = table.get(key)
-                if states is not None:
-                    table[key] = self._step_states(states, record)
-                    continue
-                if len(table) < max_groups:
-                    table[key] = self._step_states(self._fresh_states(), record)
-                    continue
-                index = partition_of(key, self.SPILL_PARTITIONS)
-                target = partitions[index]
-                if target is None:
-                    spills += 1
-                    target = PersistentCollection(
-                        name=f"{collection.name}-hashagg-spill-{depth}-{label}-{index}",
-                        backend=self.backend,
-                        schema=self.schema,
-                        status=CollectionStatus.MATERIALIZED,
-                    )
-                    partitions[index] = target
-                target.append(record)
-                spilled_records += 1
+            for block in source.scan_blocks():
+                for record in block:
+                    key = record[self.group_index]
+                    states = table.get(key)
+                    if states is not None:
+                        table[key] = self._step_states(states, record)
+                        continue
+                    if len(table) < max_groups:
+                        table[key] = self._step_states(self._fresh_states(), record)
+                        continue
+                    index = partition_of(key, self.SPILL_PARTITIONS)
+                    target = buffers[index]
+                    if target is None:
+                        spills += 1
+                        partition = PersistentCollection(
+                            name=f"{collection.name}-hashagg-spill-{depth}-{label}-{index}",
+                            backend=self.backend,
+                            schema=self.schema,
+                            status=CollectionStatus.MATERIALIZED,
+                        )
+                        partitions[index] = partition
+                        target = buffers[index] = AppendBuffer(partition)
+                    target.append(record)
+                    spilled_records += 1
 
             emitted = 0
             for key in sorted(table):
-                output.append(self._finalize(key, table[key]))
+                emitted_groups.append(self._finalize(key, table[key]))
                 emitted += 1
             for index, partition in enumerate(partitions):
                 if partition is None:
                     continue
-                partition.seal()
+                buffers[index].seal()
                 if depth >= 8 or len(partition) >= spilled_records:
                     # Degenerate split (e.g. one giant group): finish in
                     # memory rather than recursing forever.
-                    emitted += self._aggregate_in_memory(partition, output)
+                    emitted += self._aggregate_in_memory(partition, emitted_groups)
                 else:
                     emitted += aggregate_stream(
-                        partition.scan(), f"{label}.{index}", depth + 1
+                        partition, f"{label}.{index}", depth + 1
                     )
             return emitted
 
-        groups = aggregate_stream(collection.scan(), "root", depth=0)
-        output.seal()
+        groups = aggregate_stream(collection, "root", depth=0)
+        emitted_groups.seal()
         return AggregationResult(
             output=output,
             io=None,
@@ -298,15 +308,16 @@ class HashAggregation(_AggregationBase):
         )
 
     def _aggregate_in_memory(
-        self, partition: PersistentCollection, output: PersistentCollection
+        self, partition: PersistentCollection, output: AppendBuffer
     ) -> int:
         table: dict[int, list] = {}
-        for record in partition.scan():
-            key = record[self.group_index]
-            states = table.get(key, None)
-            if states is None:
-                states = self._fresh_states()
-            table[key] = self._step_states(states, record)
+        for block in partition.scan_blocks():
+            for record in block:
+                key = record[self.group_index]
+                states = table.get(key, None)
+                if states is None:
+                    states = self._fresh_states()
+                table[key] = self._step_states(states, record)
         for key in sorted(table):
             output.append(self._finalize(key, table[key]))
         return len(table)

@@ -12,7 +12,11 @@ from __future__ import annotations
 from repro.joins import cost
 from repro.joins.base import JoinAlgorithm, JoinResult
 from repro.joins.common import build_hash_table, partition_of, probe
-from repro.storage.collection import CollectionStatus, PersistentCollection
+from repro.storage.collection import (
+    AppendBuffer,
+    CollectionStatus,
+    PersistentCollection,
+)
 
 
 def partition_collection(
@@ -29,33 +33,38 @@ def partition_collection(
 
     ``partition_filter`` restricts which partition indexes are physically
     written (segmented Grace join materializes only some); records hashing
-    to unmaterialized partitions are simply not written.  Returns the list
-    of partition collections (entries are ``None`` for skipped partitions)
-    and the number of records scanned.
+    to unmaterialized partitions are simply not written.  The input is
+    consumed block by block and each partition buffers its records, so both
+    directions use the batched collection I/O path.  Returns the list of
+    partition collections (entries are ``None`` for skipped partitions) and
+    the number of records scanned.
     """
     partitions: list[PersistentCollection | None] = []
+    buffers: list[AppendBuffer | None] = []
     for index in range(num_partitions):
         if partition_filter is not None and not partition_filter(index):
             partitions.append(None)
+            buffers.append(None)
             continue
-        partitions.append(
-            PersistentCollection(
-                name=f"{prefix}-p{index}",
-                backend=backend,
-                schema=collection.schema,
-                status=CollectionStatus.MATERIALIZED,
-            )
+        partition = PersistentCollection(
+            name=f"{prefix}-p{index}",
+            backend=backend,
+            schema=collection.schema,
+            status=CollectionStatus.MATERIALIZED,
         )
+        partitions.append(partition)
+        buffers.append(AppendBuffer(partition))
     scanned = 0
-    for record in collection.scan(start=start, stop=stop):
-        scanned += 1
-        index = partition_of(key_fn(record), num_partitions)
-        target = partitions[index]
-        if target is not None:
-            target.append(record)
-    for partition in partitions:
-        if partition is not None:
-            partition.seal()
+    for block in collection.scan_blocks(start=start, stop=stop):
+        scanned += len(block)
+        for record in block:
+            index = partition_of(key_fn(record), num_partitions)
+            target = buffers[index]
+            if target is not None:
+                target.append(record)
+    for buffer in buffers:
+        if buffer is not None:
+            buffer.seal()
     return partitions, scanned
 
 
@@ -88,12 +97,14 @@ class GraceJoin(JoinAlgorithm):
             self.backend,
             prefix=f"{output.name}-R",
         )
+        matches = AppendBuffer(output)
         for left_part, right_part in zip(left_parts, right_parts):
-            table = build_hash_table(left_part.scan(), self.left_key)
-            for right_record in right_part.scan():
-                for left_record in probe(table, right_record, self.right_key):
-                    output.append(self.combine(left_record, right_record))
-        output.seal()
+            table = build_hash_table(left_part.scan_blocks_flat(), self.left_key)
+            for block in right_part.scan_blocks():
+                for right_record in block:
+                    for left_record in probe(table, right_record, self.right_key):
+                        matches.append(self.combine(left_record, right_record))
+        matches.seal()
         return JoinResult(
             output=output,
             io=None,

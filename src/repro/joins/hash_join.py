@@ -12,7 +12,11 @@ from __future__ import annotations
 from repro.joins import cost
 from repro.joins.base import JoinAlgorithm, JoinResult
 from repro.joins.common import build_hash_table, partition_of, probe
-from repro.storage.collection import CollectionStatus, PersistentCollection
+from repro.storage.collection import (
+    AppendBuffer,
+    CollectionStatus,
+    PersistentCollection,
+)
 
 
 class SimpleHashJoin(JoinAlgorithm):
@@ -34,10 +38,12 @@ class SimpleHashJoin(JoinAlgorithm):
         )
         left_source, right_source = left, right
         iterations = 0
+        matches = AppendBuffer(output)
         for index in range(num_partitions):
             iterations += 1
             is_last = index == num_partitions - 1
             left_next = right_next = None
+            left_spill = right_spill = None
             if not is_last:
                 left_next = PersistentCollection(
                     name=f"{output.name}-hj-L{index + 1}",
@@ -51,27 +57,30 @@ class SimpleHashJoin(JoinAlgorithm):
                     schema=self.right_schema,
                     status=CollectionStatus.MATERIALIZED,
                 )
-            table: dict[int, list[tuple]] = {}
+                left_spill = AppendBuffer(left_next)
+                right_spill = AppendBuffer(right_next)
             build: list[tuple] = []
-            for record in left_source.scan():
-                partition = partition_of(self.left_key(record), num_partitions)
-                if partition == index:
-                    build.append(record)
-                elif left_next is not None and partition > index:
-                    left_next.append(record)
+            for block in left_source.scan_blocks():
+                for record in block:
+                    partition = partition_of(self.left_key(record), num_partitions)
+                    if partition == index:
+                        build.append(record)
+                    elif left_spill is not None and partition > index:
+                        left_spill.append(record)
             table = build_hash_table(build, self.left_key)
-            for record in right_source.scan():
-                partition = partition_of(self.right_key(record), num_partitions)
-                if partition == index:
-                    for left_record in probe(table, record, self.right_key):
-                        output.append(self.combine(left_record, record))
-                elif right_next is not None and partition > index:
-                    right_next.append(record)
+            for block in right_source.scan_blocks():
+                for record in block:
+                    partition = partition_of(self.right_key(record), num_partitions)
+                    if partition == index:
+                        for left_record in probe(table, record, self.right_key):
+                            matches.append(self.combine(left_record, record))
+                    elif right_spill is not None and partition > index:
+                        right_spill.append(record)
             if not is_last:
-                left_next.seal()
-                right_next.seal()
+                left_spill.seal()
+                right_spill.seal()
                 left_source, right_source = left_next, right_next
-        output.seal()
+        matches.seal()
         return JoinResult(
             output=output,
             io=None,

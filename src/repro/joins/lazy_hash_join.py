@@ -14,7 +14,11 @@ from __future__ import annotations
 from repro.joins import cost
 from repro.joins.base import JoinAlgorithm, JoinResult
 from repro.joins.common import build_hash_table, partition_of, probe
-from repro.storage.collection import CollectionStatus, PersistentCollection
+from repro.storage.collection import (
+    AppendBuffer,
+    CollectionStatus,
+    PersistentCollection,
+)
 
 
 class LazyHashJoin(JoinAlgorithm):
@@ -38,6 +42,7 @@ class LazyHashJoin(JoinAlgorithm):
         lazy_iterations = 0
         materializations = 0
 
+        matches = AppendBuffer(output)
         for index in range(num_partitions):
             iterations += 1
             lazy_iterations += 1
@@ -47,6 +52,7 @@ class LazyHashJoin(JoinAlgorithm):
             )
             materialize = lazy_iterations >= threshold and remaining > 1
             left_next = right_next = None
+            left_spill = right_spill = None
             if materialize:
                 materializations += 1
                 left_next = PersistentCollection(
@@ -61,29 +67,33 @@ class LazyHashJoin(JoinAlgorithm):
                     schema=self.right_schema,
                     status=CollectionStatus.MATERIALIZED,
                 )
+                left_spill = AppendBuffer(left_next)
+                right_spill = AppendBuffer(right_next)
 
             build: list[tuple] = []
-            for record in left_source.scan():
-                partition = partition_of(self.left_key(record), num_partitions)
-                if partition == index:
-                    build.append(record)
-                elif partition > index and left_next is not None:
-                    left_next.append(record)
+            for block in left_source.scan_blocks():
+                for record in block:
+                    partition = partition_of(self.left_key(record), num_partitions)
+                    if partition == index:
+                        build.append(record)
+                    elif partition > index and left_spill is not None:
+                        left_spill.append(record)
             table = build_hash_table(build, self.left_key)
-            for record in right_source.scan():
-                partition = partition_of(self.right_key(record), num_partitions)
-                if partition == index:
-                    for left_record in probe(table, record, self.right_key):
-                        output.append(self.combine(left_record, record))
-                elif partition > index and right_next is not None:
-                    right_next.append(record)
+            for block in right_source.scan_blocks():
+                for record in block:
+                    partition = partition_of(self.right_key(record), num_partitions)
+                    if partition == index:
+                        for left_record in probe(table, record, self.right_key):
+                            matches.append(self.combine(left_record, record))
+                    elif partition > index and right_spill is not None:
+                        right_spill.append(record)
 
             if materialize:
-                left_next.seal()
-                right_next.seal()
+                left_spill.seal()
+                right_spill.seal()
                 left_source, right_source = left_next, right_next
                 lazy_iterations = 0
-        output.seal()
+        matches.seal()
         return JoinResult(
             output=output,
             io=None,

@@ -15,7 +15,7 @@ from repro.joins import cost
 from repro.joins.base import JoinAlgorithm, JoinResult
 from repro.joins.common import build_hash_table, partition_of, probe
 from repro.joins.grace_join import partition_collection
-from repro.storage.collection import PersistentCollection
+from repro.storage.collection import AppendBuffer, PersistentCollection
 
 #: Default fraction of partitions materialized.
 DEFAULT_MATERIALIZED_FRACTION = 0.5
@@ -81,11 +81,15 @@ class SegmentedGraceJoin(JoinAlgorithm):
         )
 
         # Phase 2: Grace-style processing of the materialized partitions.
+        matches = AppendBuffer(output)
         for index in range(materialized):
-            table = build_hash_table(left_parts[index].scan(), self.left_key)
-            for record in right_parts[index].scan():
-                for match in probe(table, record, self.right_key):
-                    output.append(self.combine(match, record))
+            table = build_hash_table(
+                left_parts[index].scan_blocks_flat(), self.left_key
+            )
+            for block in right_parts[index].scan_blocks():
+                for record in block:
+                    for match in probe(table, record, self.right_key):
+                        matches.append(self.combine(match, record))
 
         # Phase 3: the remaining partitions are processed by re-scanning the
         # primary inputs and filtering on the fly.
@@ -94,17 +98,18 @@ class SegmentedGraceJoin(JoinAlgorithm):
             rescans += 1
             build = [
                 record
-                for record in left.scan()
+                for record in left.scan_blocks_flat()
                 if partition_of(self.left_key(record), num_partitions) == index
             ]
             table = build_hash_table(build, self.left_key)
-            for record in right.scan():
-                if partition_of(self.right_key(record), num_partitions) != index:
-                    continue
-                for match in probe(table, record, self.right_key):
-                    output.append(self.combine(match, record))
+            for block in right.scan_blocks():
+                for record in block:
+                    if partition_of(self.right_key(record), num_partitions) != index:
+                        continue
+                    for match in probe(table, record, self.right_key):
+                        matches.append(self.combine(match, record))
 
-        output.seal()
+        matches.seal()
         return JoinResult(
             output=output,
             io=None,

@@ -50,6 +50,20 @@ class BlockedMemoryBackend(PersistenceBackend):
         # so a read costs exactly the payload transfer.
         self.device.read(nbytes)
 
+    def _charge_append_bulk(
+        self, stats: StoreStats, chunk_bytes: int, count: int
+    ) -> None:
+        needed = stats.logical_bytes + chunk_bytes * count
+        new_blocks = self._grow_to(stats, needed, self.block_bytes)
+        if new_blocks:
+            stats.extra["blocks"] = stats.extra.get("blocks", 0) + new_blocks
+        self.device.write_bulk(chunk_bytes, count)
+
+    def _charge_read_bulk(
+        self, stats: StoreStats, chunk_bytes: int, count: int
+    ) -> None:
+        self.device.read_bulk(chunk_bytes, count)
+
     def blocks_allocated(self, store_id: str) -> int:
         """Number of blocks currently chained for the store."""
         return self.store_stats(store_id).extra.get("blocks", 0)

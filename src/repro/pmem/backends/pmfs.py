@@ -65,3 +65,21 @@ class PmfsBackend(PersistenceBackend):
     def _charge_read(self, stats: StoreStats, nbytes: int) -> None:
         self.device.read(nbytes)
         self.device.overhead(self.file_call_overhead_ns, label="pmfs_call")
+
+    def _charge_append_bulk(
+        self, stats: StoreStats, chunk_bytes: int, count: int
+    ) -> None:
+        needed = stats.logical_bytes + chunk_bytes * count
+        self._grow_to(stats, needed, self.allocation_extent_bytes)
+        self.device.write_bulk(chunk_bytes, count)
+        self.device.overhead_bulk(
+            self.file_call_overhead_ns, count, label="pmfs_call"
+        )
+
+    def _charge_read_bulk(
+        self, stats: StoreStats, chunk_bytes: int, count: int
+    ) -> None:
+        self.device.read_bulk(chunk_bytes, count)
+        self.device.overhead_bulk(
+            self.file_call_overhead_ns, count, label="pmfs_call"
+        )

@@ -76,6 +76,30 @@ class RamDiskBackend(PersistenceBackend):
             stats.extra.get("padded_read_bytes", 0) + (physical - nbytes)
         )
 
+    def _charge_append_bulk(
+        self, stats: StoreStats, chunk_bytes: int, count: int
+    ) -> None:
+        physical = self._rounded(chunk_bytes)
+        needed = stats.logical_bytes + chunk_bytes * count
+        self._grow_to(stats, needed, self.fs_block_bytes)
+        self.device.write_bulk(physical, count)
+        self.device.overhead_bulk(self.syscall_overhead_ns, count, label="syscall")
+        stats.extra["padded_write_bytes"] = (
+            stats.extra.get("padded_write_bytes", 0)
+            + (physical - chunk_bytes) * count
+        )
+
+    def _charge_read_bulk(
+        self, stats: StoreStats, chunk_bytes: int, count: int
+    ) -> None:
+        physical = self._rounded(chunk_bytes)
+        self.device.read_bulk(physical, count)
+        self.device.overhead_bulk(self.syscall_overhead_ns, count, label="syscall")
+        stats.extra["padded_read_bytes"] = (
+            stats.extra.get("padded_read_bytes", 0)
+            + (physical - chunk_bytes) * count
+        )
+
     def padded_write_bytes(self, store_id: str) -> int:
         """Bytes written purely because of block rounding."""
         return self.store_stats(store_id).extra.get("padded_write_bytes", 0)

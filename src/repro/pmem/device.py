@@ -148,6 +148,59 @@ class PersistentMemoryDevice:
         return cost_ns
 
     # ------------------------------------------------------------------ #
+    # Vectorized accounting: one call charging ``count`` identical
+    # accesses.  The latency model is linear per cacheline, so these are
+    # cost-equivalent to ``count`` single calls -- same counters, same
+    # ``elapsed == transfer + overhead`` invariant, same wear-map updates
+    # -- but with O(1) Python work instead of O(count).
+    # ------------------------------------------------------------------ #
+    def read_bulk(
+        self, nbytes: int | float, count: int, address: int | None = None
+    ) -> float:
+        """Charge ``count`` reads of ``nbytes`` each; returns total cost in ns."""
+        if nbytes < 0:
+            raise ConfigurationError("cannot read a negative number of bytes")
+        if count < 0:
+            raise ConfigurationError("read count must be non-negative")
+        if count == 0:
+            return 0.0
+        cachelines = self.geometry.bytes_to_cachelines(nbytes)
+        cost = self.latency.read_cost_ns(cachelines)
+        self._counters.record_read_bulk(cachelines, int(nbytes), cost, count)
+        return cost * count
+
+    def write_bulk(
+        self, nbytes: int | float, count: int, address: int | None = None
+    ) -> float:
+        """Charge ``count`` writes of ``nbytes`` each; returns total cost in ns."""
+        if nbytes < 0:
+            raise ConfigurationError("cannot write a negative number of bytes")
+        if count < 0:
+            raise ConfigurationError("write count must be non-negative")
+        if count == 0:
+            return 0.0
+        cachelines = self.geometry.bytes_to_cachelines(nbytes)
+        cost = self.latency.write_cost_ns(cachelines)
+        self._counters.record_write_bulk(cachelines, int(nbytes), cost, count)
+        if address is not None:
+            region = address // self._wear_region_bytes
+            self._wear[region] = self._wear.get(region, 0.0) + cachelines * count
+        return cost * count
+
+    def overhead_bulk(
+        self, cost_ns: float, count: int, label: str = "other"
+    ) -> float:
+        """Charge ``count`` identical software overheads in one update."""
+        if cost_ns < 0:
+            raise ConfigurationError("overhead must be non-negative")
+        if count < 0:
+            raise ConfigurationError("overhead count must be non-negative")
+        if count == 0:
+            return 0.0
+        self._counters.record_overhead(cost_ns * count, label)
+        return cost_ns * count
+
+    # ------------------------------------------------------------------ #
     # Capacity tracking (optional).
     # ------------------------------------------------------------------ #
     def allocate(self, nbytes: int) -> None:

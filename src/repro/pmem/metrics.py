@@ -58,6 +58,29 @@ class IOCounters:
         self.write_calls += 1
         self.transfer_ns += cost_ns
 
+    def record_read_bulk(
+        self, cachelines: float, nbytes: int, cost_ns: float, count: int
+    ) -> None:
+        """Record ``count`` identical reads in one update.
+
+        Equivalent to ``count`` calls of :meth:`record_read` with the same
+        per-call figures; the per-call latency model is linear, so the
+        totals are the same either way.
+        """
+        self.cacheline_reads += cachelines * count
+        self.bytes_read += nbytes * count
+        self.read_calls += count
+        self.transfer_ns += cost_ns * count
+
+    def record_write_bulk(
+        self, cachelines: float, nbytes: int, cost_ns: float, count: int
+    ) -> None:
+        """Record ``count`` identical writes in one update."""
+        self.cacheline_writes += cachelines * count
+        self.bytes_written += nbytes * count
+        self.write_calls += count
+        self.transfer_ns += cost_ns * count
+
     def record_overhead(self, cost_ns: float, label: str = "other") -> None:
         self.overhead_ns += cost_ns
         self.overhead_breakdown[label] = (

@@ -14,7 +14,11 @@ from typing import Callable
 
 from repro.joins.common import build_hash_table, partition_of, probe
 from repro.runtime.context import OperatorContext
-from repro.storage.collection import CollectionStatus, PersistentCollection
+from repro.storage.collection import (
+    AppendBuffer,
+    CollectionStatus,
+    PersistentCollection,
+)
 from repro.storage.schema import Schema
 
 
@@ -50,10 +54,13 @@ class PartitionJoinFunctor:
         left.open()
         right.open()
         output.open()
-        table = build_hash_table(left.scan(), self.left_key)
-        for record in right.scan():
-            for match in probe(table, record, self.right_key):
-                output.append(match + record)
+        table = build_hash_table(left.scan_blocks_flat(), self.left_key)
+        matches = AppendBuffer(output)
+        for block in right.scan_blocks():
+            for record in block:
+                for match in probe(table, record, self.right_key):
+                    matches.append(match + record)
+        matches.flush()
 
 
 class SegmentedGraceJoinOperator(Operator):

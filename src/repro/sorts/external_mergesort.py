@@ -11,7 +11,7 @@ from __future__ import annotations
 from repro.sorts import cost
 from repro.sorts.base import SortAlgorithm, SortResult
 from repro.sorts.heaps import ReplacementSelectionHeap
-from repro.storage.collection import PersistentCollection
+from repro.storage.collection import AppendBuffer, PersistentCollection
 from repro.storage.runs import RunSet, merge_runs
 
 
@@ -26,34 +26,35 @@ def generate_runs_replacement_selection(
     """Generate sorted runs from a slice of ``collection`` into ``runset``.
 
     Returns the number of runs produced.  Shared by external mergesort and
-    the mergesort segment of segment sort.
+    the mergesort segment of segment sort.  The input is consumed block by
+    block and emitted records are buffered per run, so both directions go
+    through the batched collection I/O path.
     """
     heap = ReplacementSelectionHeap(capacity_records, key_fn)
-    current_run = None
-    for record in collection.scan(start=start, stop=stop):
-        if not heap.is_full:
-            heap.fill(record)
-            continue
-        if current_run is None:
-            current_run = runset.new_run()
-        emitted, run_closed = heap.push_pop(record)
-        current_run.append(emitted)
-        if run_closed:
-            current_run.seal()
-            current_run = None
+    current_run: AppendBuffer | None = None
+    for block in collection.scan_blocks(start=start, stop=stop):
+        for record in block:
+            if not heap.is_full:
+                heap.fill(record)
+                continue
+            if current_run is None:
+                current_run = AppendBuffer(runset.new_run())
+            emitted, run_closed = heap.push_pop(record)
+            current_run.append(emitted)
+            if run_closed:
+                current_run.seal()
+                current_run = None
     # Drain what remains in the two heaps: the tail of the current run and,
     # if present, the records already parked for the next run.
     if len(heap):
         if current_run is None:
-            current_run = runset.new_run()
-        for record in heap.drain_current():
-            current_run.append(record)
+            current_run = AppendBuffer(runset.new_run())
+        current_run.extend(heap.drain_current())
         current_run.seal()
         current_run = None
         if heap.has_next_run():
             next_run = runset.new_run()
-            for record in heap.drain_next():
-                next_run.append(record)
+            next_run.extend(heap.drain_next())
             next_run.seal()
     elif current_run is not None:
         current_run.seal()

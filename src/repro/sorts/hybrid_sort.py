@@ -18,7 +18,7 @@ from repro.exceptions import ConfigurationError
 from repro.sorts import cost
 from repro.sorts.base import SortAlgorithm, SortResult
 from repro.sorts.heaps import BoundedMaxHeap, ReplacementSelectionHeap
-from repro.storage.collection import PersistentCollection
+from repro.storage.collection import AppendBuffer, PersistentCollection
 from repro.storage.runs import RunSet, merge_runs
 
 #: Default split of M between the selection and replacement regions.
@@ -72,37 +72,38 @@ class HybridSort(SortAlgorithm):
         runset = RunSet(
             self.backend, schema=self.schema, prefix=f"{collection.name}-hybs"
         )
-        current_run = None
+        current_run: AppendBuffer | None = None
 
-        for position, record in enumerate(collection.scan()):
-            displaced = selection_region.offer(
-                self.key_fn(record), position, record
-            )
-            if displaced is None:
-                continue
-            # The displaced record (either an evicted former minimum or the
-            # incoming record itself) moves to the replacement region.
-            if not replacement_region.is_full:
-                replacement_region.fill(displaced)
-                continue
-            if current_run is None:
-                current_run = runset.new_run()
-            emitted, run_closed = replacement_region.push_pop(displaced)
-            current_run.append(emitted)
-            if run_closed:
-                current_run.seal()
-                current_run = None
+        position = 0
+        for block in collection.scan_blocks():
+            for record in block:
+                displaced = selection_region.offer(
+                    self.key_fn(record), position, record
+                )
+                position += 1
+                if displaced is None:
+                    continue
+                # The displaced record (either an evicted former minimum or
+                # the incoming record itself) moves to the replacement region.
+                if not replacement_region.is_full:
+                    replacement_region.fill(displaced)
+                    continue
+                if current_run is None:
+                    current_run = AppendBuffer(runset.new_run())
+                emitted, run_closed = replacement_region.push_pop(displaced)
+                current_run.append(emitted)
+                if run_closed:
+                    current_run.seal()
+                    current_run = None
 
         # Algorithm 1, lines 17-19: flush the three in-memory regions.
         # Rs holds the globally smallest records, so it becomes the output
         # prefix without an intermediate run.
-        for record in selection_region.drain_sorted():
-            output.append(record)
+        output.extend(selection_region.drain_sorted())
         if replacement_region.current_size:
             if current_run is None:
-                current_run = runset.new_run()
-            for record in replacement_region.drain_current():
-                current_run.append(record)
+                current_run = AppendBuffer(runset.new_run())
+            current_run.extend(replacement_region.drain_current())
             current_run.seal()
             current_run = None
         elif current_run is not None:
@@ -110,8 +111,7 @@ class HybridSort(SortAlgorithm):
             current_run = None
         if replacement_region.has_next_run():
             tail_run = runset.new_run()
-            for record in replacement_region.drain_next():
-                tail_run.append(record)
+            tail_run.extend(replacement_region.drain_next())
             tail_run.seal()
 
         # Line 20: merge all remaining runs behind the Rs prefix.  Every run

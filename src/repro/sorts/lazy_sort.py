@@ -15,7 +15,11 @@ from __future__ import annotations
 from repro.sorts import cost
 from repro.sorts.base import SortAlgorithm, SortResult
 from repro.sorts.heaps import BoundedMaxHeap
-from repro.storage.collection import CollectionStatus, PersistentCollection
+from repro.storage.collection import (
+    AppendBuffer,
+    CollectionStatus,
+    PersistentCollection,
+)
 
 
 class LazySort(SortAlgorithm):
@@ -67,16 +71,21 @@ class LazySort(SortAlgorithm):
                 )
 
             heap = BoundedMaxHeap(self.workspace_records)
-            for position, record in enumerate(source.scan()):
-                key = self.key_fn(record)
-                if threshold is not None and (key, position) <= threshold:
-                    continue
-                displaced = heap.offer(key, position, record)
-                if displaced is not None and intermediate is not None:
-                    # The displaced record is not among the current M
-                    # minimums but is still pending: it belongs to the
-                    # materialized intermediate input.
-                    intermediate.append(displaced)
+            spill = AppendBuffer(intermediate) if intermediate is not None else None
+            position = 0
+            for block in source.scan_blocks():
+                for record in block:
+                    key = self.key_fn(record)
+                    if threshold is None or (key, position) > threshold:
+                        displaced = heap.offer(key, position, record)
+                        if displaced is not None and spill is not None:
+                            # The displaced record is not among the current M
+                            # minimums but is still pending: it belongs to the
+                            # materialized intermediate input.
+                            spill.append(displaced)
+                    position += 1
+            if spill is not None:
+                spill.flush()
             scans += 1
             threshold = heap.max_key_position
             batch = heap.drain_sorted()

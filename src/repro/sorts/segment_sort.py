@@ -22,7 +22,7 @@ from repro.sorts.base import SortAlgorithm, SortResult
 from repro.sorts.external_mergesort import generate_runs_replacement_selection
 from repro.sorts.selection_sort import selection_sort_stream
 from repro.storage.collection import PersistentCollection
-from repro.storage.runs import RunSet, merge_runs, merge_streams
+from repro.storage.runs import RunSet, merge_runs, merge_streams, scan_stream
 
 
 class SegmentSort(SortAlgorithm):
@@ -124,7 +124,7 @@ class SegmentSort(SortAlgorithm):
                     key=self.key_fn,
                 )
                 runs = [reduced_output]
-            streams = [run.scan() for run in runs]
+            streams = [scan_stream(run) for run in runs]
             streams.append(
                 selection_sort_stream(
                     collection,

@@ -40,11 +40,13 @@ def selection_sort_stream(
     threshold: tuple[int, int] | None = None
     while emitted < total:
         heap = BoundedMaxHeap(workspace_records)
-        for position, record in enumerate(collection.scan(start=start, stop=stop)):
-            key = key_fn(record)
-            if threshold is not None and (key, position) <= threshold:
-                continue
-            heap.offer(key, position, record)
+        position = 0
+        for block in collection.scan_blocks(start=start, stop=stop):
+            for record in block:
+                key = key_fn(record)
+                if threshold is None or (key, position) > threshold:
+                    heap.offer(key, position, record)
+                position += 1
         if len(heap) == 0:
             raise ReproError(
                 "selection sort made no progress; input mutated during sorting?"
@@ -76,11 +78,13 @@ def selection_sort_into(
     passes = 0
     while emitted < total:
         heap = BoundedMaxHeap(workspace_records)
-        for position, record in enumerate(collection.scan(start=start, stop=stop)):
-            key = key_fn(record)
-            if threshold is not None and (key, position) <= threshold:
-                continue
-            heap.offer(key, position, record)
+        position = 0
+        for block in collection.scan_blocks(start=start, stop=stop):
+            for record in block:
+                key = key_fn(record)
+                if threshold is None or (key, position) > threshold:
+                    heap.offer(key, position, record)
+                position += 1
         passes += 1
         if len(heap) == 0:
             raise ReproError(

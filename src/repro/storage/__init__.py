@@ -1,15 +1,26 @@
 """Storage layer: records, persistent collections, bufferpool and runs."""
 
 from repro.storage.schema import Schema, WISCONSIN_SCHEMA
-from repro.storage.collection import CollectionStatus, PersistentCollection
+from repro.storage.collection import (
+    AppendBuffer,
+    CollectionStatus,
+    PersistentCollection,
+    io_batching,
+    io_batching_enabled,
+    set_io_batching,
+)
 from repro.storage.bufferpool import Bufferpool, MemoryBudget
 from repro.storage.runs import RunSet, merge_runs
 
 __all__ = [
     "Schema",
     "WISCONSIN_SCHEMA",
+    "AppendBuffer",
     "CollectionStatus",
     "PersistentCollection",
+    "io_batching",
+    "io_batching_enabled",
+    "set_io_batching",
     "Bufferpool",
     "MemoryBudget",
     "RunSet",

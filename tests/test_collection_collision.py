@@ -1,0 +1,20 @@
+"""Canary for the pytest collection collision fixed by packaging tests/.
+
+The seed tree shipped two modules named ``test_operators`` (under
+``test_aggregation`` and ``test_runtime``) with no ``__init__.py`` files,
+so pytest's rootdir-relative import produced an import-file-mismatch error
+before a single test ran.  With the test tree packaged, both modules must
+import side by side under distinct package-qualified names.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+
+def test_same_named_test_modules_import_side_by_side():
+    aggregation = importlib.import_module("tests.test_aggregation.test_operators")
+    runtime = importlib.import_module("tests.test_runtime.test_operators")
+    assert aggregation is not runtime
+    assert aggregation.__name__ != runtime.__name__
+    assert aggregation.__file__ != runtime.__file__

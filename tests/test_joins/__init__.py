@@ -1,0 +1,1 @@
+"""Test package marker: keeps same-named test modules importable under distinct package paths."""
