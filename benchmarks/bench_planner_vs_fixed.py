@@ -1,0 +1,75 @@
+"""Planner validation: cost-based choice vs. the measured-best fixed
+algorithm across the Figure 9/10 write-intensity grid.
+
+For every (lambda, memory-fraction) grid point, each fixed sort/join runs
+to completion on the simulated device and the cost-based planner plans
+the same operation from the Section 2 models alone.  The planner tracks
+the measured-cheapest fixed algorithm on at least 80 % of the grid, and
+where it misses, its regret (measured slowdown over the best) stays
+small.
+"""
+
+from repro.bench import experiments
+from repro.bench.reporting import format_table
+
+from conftest import attach_summary, run_experiment
+
+SORT_RECORDS = 1_500
+JOIN_LEFT_RECORDS = 450
+JOIN_RIGHT_RECORDS = 4_500
+#: lambda in {2, 6, 15, 30, 60} with the paper's 10 ns reads.
+WRITE_LATENCIES = (20.0, 60.0, 150.0, 300.0, 600.0)
+MEMORY_FRACTIONS = (0.02, 0.05, 0.08, 0.11, 0.15)
+
+COLUMNS = [
+    "lambda",
+    "memory_fraction",
+    "chosen",
+    "measured_best",
+    "match",
+    "regret",
+]
+
+
+def test_planner_vs_fixed_sort(benchmark, report):
+    rows = run_experiment(
+        benchmark,
+        experiments.planner_vs_fixed_sort,
+        num_records=SORT_RECORDS,
+        write_latencies=WRITE_LATENCIES,
+        memory_fractions=MEMORY_FRACTIONS,
+    )
+    match_rate = experiments.planner_match_rate(rows)
+    report(
+        format_table(
+            rows,
+            COLUMNS,
+            title=f"Planner vs fixed sorts (match rate {match_rate:.0%})",
+        )
+    )
+    attach_summary(benchmark, grid_points=len(rows), match_rate=match_rate)
+    assert match_rate >= 0.8
+    # Misses must be near-ties, not blunders.
+    assert all(row["regret"] < 0.35 for row in rows)
+
+
+def test_planner_vs_fixed_join(benchmark, report):
+    rows = run_experiment(
+        benchmark,
+        experiments.planner_vs_fixed_join,
+        left_records=JOIN_LEFT_RECORDS,
+        right_records=JOIN_RIGHT_RECORDS,
+        write_latencies=WRITE_LATENCIES,
+        memory_fractions=MEMORY_FRACTIONS,
+    )
+    match_rate = experiments.planner_match_rate(rows)
+    report(
+        format_table(
+            rows,
+            COLUMNS,
+            title=f"Planner vs fixed joins (match rate {match_rate:.0%})",
+        )
+    )
+    attach_summary(benchmark, grid_points=len(rows), match_rate=match_rate)
+    assert match_rate >= 0.8
+    assert all(row["regret"] < 0.35 for row in rows)

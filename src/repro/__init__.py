@@ -27,6 +27,12 @@ The package is organized as follows:
     Nested-loops, hash and Grace joins, plus the write-limited hybrid
     Grace/nested-loops join, segmented Grace join and lazy hash join.
 
+``repro.query``
+    The cost-based query layer: logical plans (``Scan``/``Filter``/
+    ``Project``/``Join``/``GroupBy``/``OrderBy``), a planner that picks
+    each node's physical operator with the Section 2 cost models, and an
+    executor with per-node estimated-vs-actual I/O reporting.
+
 ``repro.workloads``
     Wisconsin-benchmark-style input generators.
 
@@ -68,6 +74,14 @@ from repro.joins import (
     SegmentedGraceJoin,
     SimpleHashJoin,
 )
+from repro.query import (
+    CostBasedPlanner,
+    PhysicalPlan,
+    Query,
+    QueryExecutor,
+    QueryResult,
+    execute_query,
+)
 
 __version__ = "1.0.0"
 
@@ -99,5 +113,11 @@ __all__ = [
     "HybridGraceNestedLoopsJoin",
     "SegmentedGraceJoin",
     "LazyHashJoin",
+    "Query",
+    "CostBasedPlanner",
+    "PhysicalPlan",
+    "QueryExecutor",
+    "QueryResult",
+    "execute_query",
     "__version__",
 ]

@@ -23,7 +23,7 @@ from repro.joins.common import partition_of
 from repro.pmem.backends.base import PersistenceBackend
 from repro.pmem.metrics import IOSnapshot
 from repro.sorts.segment_sort import SegmentSort
-from repro.storage.bufferpool import MemoryBudget
+from repro.storage.bufferpool import Bufferpool, MemoryBudget
 from repro.storage.collection import (
     AppendBuffer,
     CollectionStatus,
@@ -73,6 +73,7 @@ class _AggregationBase:
         aggregates: dict[str, int] | None = None,
         schema: Schema = WISCONSIN_SCHEMA,
         materialize_output: bool = True,
+        bufferpool: Bufferpool | None = None,
     ) -> None:
         """Configure the aggregation.
 
@@ -86,6 +87,8 @@ class _AggregationBase:
             schema: input record schema.
             materialize_output: write the per-group output to persistent
                 memory (default) or keep it in DRAM.
+            bufferpool: pool the operator registers its DRAM workspace with
+                while running; a private pool over ``budget`` when omitted.
         """
         if not 0 <= group_index < schema.num_fields:
             raise ConfigurationError(
@@ -97,6 +100,7 @@ class _AggregationBase:
         self.schema = schema
         self.group_index = group_index
         self.materialize_output = materialize_output
+        self.bufferpool = bufferpool if bufferpool is not None else Bufferpool(budget)
         spec = aggregates or {"count": group_index}
         self.aggregates: list[tuple[AggregateFunction, int]] = []
         for name, attribute in spec.items():
@@ -120,7 +124,8 @@ class _AggregationBase:
         """Aggregate ``collection`` and return the result with its I/O delta."""
         device = self.backend.device
         before = device.snapshot()
-        result = self._execute(collection)
+        with self.bufferpool.workspace(self.budget.nbytes, owner=self.short_name):
+            result = self._execute(collection)
         result.io = device.snapshot() - before
         return result
 

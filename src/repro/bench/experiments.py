@@ -33,7 +33,14 @@ from repro.joins import (
     SimpleHashJoin,
     NestedLoopsJoin,
 )
+from repro.joins import cost as join_cost
 from repro.pmem.backends import BACKEND_PAPER_ORDER
+from repro.query import (
+    JOIN_ALTERNATIVES,
+    SORT_ALTERNATIVES,
+    CostBasedPlanner,
+    Query,
+)
 from repro.sorts import ExternalMergeSort, HybridSort, LazySort, SegmentSort
 from repro.workloads.generator import make_join_inputs, make_sort_input
 
@@ -433,6 +440,125 @@ def cost_model_validation(
             }
         )
     return rows
+
+
+# --------------------------------------------------------------------- #
+# Planner validation: cost-based choice vs. the measured-best fixed
+# algorithm across the Figure 9/10 write-intensity grid.
+# --------------------------------------------------------------------- #
+
+#: Device write latencies spanning the paper's asymmetry range; with 10 ns
+#: reads these give lambda in {2, 6, 15, 30, 60}.
+DEFAULT_PLANNER_WRITE_LATENCIES = (20.0, 60.0, 150.0, 300.0, 600.0)
+
+
+def planner_vs_fixed_sort(
+    num_records: int = 2_000,
+    write_latencies=DEFAULT_PLANNER_WRITE_LATENCIES,
+    memory_fractions=DEFAULT_MEMORY_FRACTIONS,
+    backend_name: str = "blocked_memory",
+) -> list[dict]:
+    """Planner-chosen vs. measured-cheapest sort on the (lambda, M) grid.
+
+    For every grid point each fixed sort runs to completion and the
+    planner plans ``Scan >> OrderBy`` from the cost models alone; a row
+    records whether the choices agree and the planner's regret (the
+    measured slowdown of its choice over the measured best).
+    """
+    rows = []
+    for write_ns in write_latencies:
+        env = make_environment(backend_name, write_ns=write_ns)
+        collection = make_sort_input(num_records, env.backend)
+        for fraction in memory_fractions:
+            budget = budget_for(collection, fraction)
+            measured = {}
+            for label, sort_class in SORT_ALTERNATIVES.items():
+                row = run_sort(
+                    lambda b, m, cls=sort_class: cls(b, m),
+                    collection,
+                    env.backend,
+                    budget,
+                    label=label,
+                )
+                measured[label] = row["simulated_seconds"]
+            plan = CostBasedPlanner(env.backend, budget).plan(
+                Query.scan(collection).order_by()
+            )
+            rows.append(
+                _planner_row(
+                    "sort", env, fraction, plan.root.operator, measured
+                )
+            )
+    return rows
+
+
+def planner_vs_fixed_join(
+    left_records: int = 600,
+    right_records: int = 6_000,
+    write_latencies=DEFAULT_PLANNER_WRITE_LATENCIES,
+    memory_fractions=DEFAULT_MEMORY_FRACTIONS,
+    backend_name: str = "blocked_memory",
+) -> list[dict]:
+    """Planner-chosen vs. measured-cheapest join on the (lambda, M) grid."""
+    rows = []
+    for write_ns in write_latencies:
+        env = make_environment(backend_name, write_ns=write_ns)
+        left, right = make_join_inputs(left_records, right_records, env.backend)
+        # The paper's convention (and the planner's): T, the build input,
+        # is the smaller one.  Running the fixed algorithms on the same
+        # build side keeps the Grace gate and the comparison aligned with
+        # the planner's candidate space.
+        build, probe = (
+            (left, right) if left.nbytes <= right.nbytes else (right, left)
+        )
+        for fraction in memory_fractions:
+            budget = budget_for(build, fraction)
+            measured = {}
+            for label, join_class in JOIN_ALTERNATIVES.items():
+                if label == "GJ" and not join_cost.grace_applicable(
+                    build.num_buffers, budget.buffers
+                ):
+                    continue
+                row = run_join(
+                    lambda b, m, cls=join_class: cls(b, m),
+                    build,
+                    probe,
+                    env.backend,
+                    budget,
+                    label=label,
+                )
+                measured[label] = row["simulated_seconds"]
+            plan = CostBasedPlanner(env.backend, budget).plan(
+                Query.scan(left).join(Query.scan(right))
+            )
+            rows.append(
+                _planner_row(
+                    "join", env, fraction, plan.root.operator, measured
+                )
+            )
+    return rows
+
+
+def _planner_row(operation, env, fraction, chosen, measured) -> dict:
+    measured_best = min(measured, key=measured.get)
+    return {
+        "operation": operation,
+        "backend": env.backend_name,
+        "lambda": env.device.write_read_ratio,
+        "memory_fraction": fraction,
+        "chosen": chosen,
+        "measured_best": measured_best,
+        "match": chosen == measured_best,
+        "regret": measured[chosen] / measured[measured_best] - 1.0,
+        "measured_seconds": dict(measured),
+    }
+
+
+def planner_match_rate(rows: list[dict]) -> float:
+    """Fraction of grid points where the planner picked the measured best."""
+    if not rows:
+        return 0.0
+    return sum(1 for row in rows if row["match"]) / len(rows)
 
 
 # --------------------------------------------------------------------- #

@@ -6,12 +6,15 @@ Usage::
     python -m repro figure 5 --records 3000
     python -m repro figure 7 --left 800 --right 8000 --fractions 0.02 0.08 0.15
     python -m repro table 1
-    python -m repro quick-sort-demo
+    python -m repro query join-sort --write-ns 300
 
 Every ``figure``/``table`` subcommand drives the same experiment
 definitions as the ``benchmarks/`` directory and prints the series/rows
-the corresponding figure plots.  The CLI exists so experiments can be
-re-run (and redirected to files) without pytest.
+the corresponding figure plots.  The ``query`` subcommand runs canned
+Wisconsin-workload queries through the cost-based planner and executor
+(:mod:`repro.query`) and prints the plan with estimated vs. actual I/O
+per node.  The CLI exists so experiments can be re-run (and redirected
+to files) without pytest.
 """
 
 from __future__ import annotations
@@ -20,6 +23,10 @@ import argparse
 import sys
 
 from repro.bench import experiments, reporting
+from repro.bench.harness import make_environment
+from repro.query import Query, QueryExecutor
+from repro.storage.bufferpool import MemoryBudget
+from repro.workloads.generator import make_join_inputs, make_sort_input
 
 #: Maps figure numbers to (description, runner) pairs.  Runners accept the
 #: parsed argparse namespace and return printable text.
@@ -198,6 +205,91 @@ def _run_table1(args) -> str:
     )
 
 
+# --------------------------------------------------------------------- #
+# Canned planner/executor queries over the Wisconsin workload.
+# --------------------------------------------------------------------- #
+def _query_sort(args, env):
+    relation = make_sort_input(args.records, env.backend, name="T")
+    return Query.scan(relation).order_by(), relation
+
+
+def _query_filter_sort(args, env):
+    relation = make_sort_input(args.records, env.backend, name="T")
+    bound = args.records // 2
+    query = (
+        Query.scan(relation)
+        .filter(lambda record: record[0] < bound, selectivity=0.5)
+        .order_by()
+    )
+    return query, relation
+
+
+def _query_join(args, env):
+    left, right = make_join_inputs(args.left, args.right, env.backend)
+    return Query.scan(left).join(Query.scan(right)), left
+
+
+def _query_join_sort(args, env):
+    left, right = make_join_inputs(args.left, args.right, env.backend)
+    bound = args.left // 2
+    query = (
+        Query.scan(left)
+        .filter(lambda record: record[0] < bound, selectivity=0.5)
+        .join(Query.scan(right))
+        .order_by()
+    )
+    return query, left
+
+
+def _query_aggregate(args, env):
+    relation = make_sort_input(args.records, env.backend, name="T")
+    query = Query.scan(relation).group_by(
+        group_index=1,
+        aggregates={"count": 1, "sum": 0, "max": 0},
+        estimated_groups=max(1, args.records // 2),
+    )
+    return query, relation
+
+
+QUERIES = {
+    "sort": ("ORDER BY key over T", _query_sort),
+    "filter-sort": ("Filter half of T, then ORDER BY key", _query_filter_sort),
+    "join": ("T JOIN V on the key", _query_join),
+    "join-sort": (
+        "Filter T, join with V, ORDER BY key",
+        _query_join_sort,
+    ),
+    "aggregate": (
+        "GROUP BY attribute 1 with count/sum/max",
+        _query_aggregate,
+    ),
+}
+
+
+def _run_query(args) -> str:
+    env = make_environment(args.backend, write_ns=args.write_ns)
+    _, builder = QUERIES[args.name]
+    query, budget_base = builder(args, env)
+    budget = MemoryBudget.fraction_of(budget_base, args.fraction)
+    executor = QueryExecutor(
+        env.backend, budget, materialize_result=args.materialize
+    )
+    result = executor.execute(query)
+    lines = [
+        result.explain(),
+        "",
+        f"output records    : {len(result.records)}",
+        f"simulated time    : {result.simulated_seconds * 1e3:.3f} ms",
+        f"cacheline reads   : {result.io.cacheline_reads:.0f}",
+        f"cacheline writes  : {result.io.cacheline_writes:.0f}",
+    ]
+    preview = result.records[: args.rows]
+    if preview:
+        lines.append(f"first {len(preview)} records:")
+        lines.extend(f"  {record}" for record in preview)
+    return "\n".join(lines)
+
+
 FIGURES = {
     2: ("Hybrid Grace/nested-loops cost surface", _run_figure2),
     5: ("Sort response time and I/O vs memory", _run_figure5),
@@ -233,6 +325,42 @@ def build_parser() -> argparse.ArgumentParser:
     table.add_argument("number", type=int, choices=sorted(TABLES))
     table.add_argument("--partitions", type=int, default=8)
     table.add_argument("--output", type=str, default=None)
+
+    query = subparsers.add_parser(
+        "query", help="run a canned query through the cost-based planner"
+    )
+    query.add_argument("name", choices=sorted(QUERIES))
+    query.add_argument(
+        "--records", type=int, default=2_000, help="sort/aggregate input records"
+    )
+    query.add_argument("--left", type=int, default=600)
+    query.add_argument("--right", type=int, default=6_000)
+    query.add_argument(
+        "--fraction",
+        type=float,
+        default=0.08,
+        help="DRAM budget as a fraction of the (left) input",
+    )
+    query.add_argument(
+        "--backend",
+        choices=("blocked_memory", "pmfs", "ramdisk", "dynamic_array"),
+        default="blocked_memory",
+    )
+    query.add_argument(
+        "--write-ns",
+        type=float,
+        default=150.0,
+        help="device write latency (reads are 10 ns; sets lambda)",
+    )
+    query.add_argument(
+        "--materialize",
+        action="store_true",
+        help="write the final output to the persistent device",
+    )
+    query.add_argument(
+        "--rows", type=int, default=5, help="output records to preview"
+    )
+    query.add_argument("--output", type=str, default=None)
 
     return parser
 
@@ -282,7 +410,13 @@ def main(argv: list[str] | None = None) -> int:
             lines.append(f"  figure {number:<2d} {description}")
         for number, (description, _) in sorted(TABLES.items()):
             lines.append(f"  table  {number:<2d} {description}")
+        lines.append("Planned queries (cost-based operator selection):")
+        for name, (description, _) in sorted(QUERIES.items()):
+            lines.append(f"  query  {name:<12s} {description}")
         print("\n".join(lines))
+        return 0
+    if args.command == "query":
+        _emit(_run_query(args), args.output)
         return 0
     if args.command == "figure":
         _, runner = FIGURES[args.number]

@@ -17,7 +17,7 @@ from repro.exceptions import ConfigurationError, InsufficientMemoryError
 from repro.joins.common import joined_schema
 from repro.pmem.backends.base import PersistenceBackend
 from repro.pmem.metrics import IOSnapshot
-from repro.storage.bufferpool import MemoryBudget
+from repro.storage.bufferpool import Bufferpool, MemoryBudget
 from repro.storage.collection import CollectionStatus, PersistentCollection
 from repro.storage.schema import Schema, WISCONSIN_SCHEMA
 
@@ -69,6 +69,10 @@ class JoinAlgorithm(abc.ABC):
             if pipelined.
         partition_fudge_factor: the paper's f, the growth of a partition
             once a hash table is built over it (1.2 in the paper).
+        bufferpool: pool the join registers its DRAM workspace with while
+            running, so the budget is enforced rather than advisory.  A
+            private pool over ``budget`` is used when omitted; the query
+            executor passes its shared pool here.
     """
 
     short_name: str = "join"
@@ -82,11 +86,13 @@ class JoinAlgorithm(abc.ABC):
         right_schema: Schema = WISCONSIN_SCHEMA,
         materialize_output: bool = True,
         partition_fudge_factor: float = 1.2,
+        bufferpool: Bufferpool | None = None,
     ) -> None:
         if partition_fudge_factor < 1.0:
             raise ConfigurationError("partition fudge factor must be >= 1.0")
         self.backend = backend
         self.budget = budget
+        self.bufferpool = bufferpool if bufferpool is not None else Bufferpool(budget)
         self.left_schema = left_schema
         self.right_schema = right_schema
         self.materialize_output = materialize_output
@@ -107,7 +113,8 @@ class JoinAlgorithm(abc.ABC):
         """Join ``left`` (the smaller input, T) with ``right`` (V)."""
         device = self.backend.device
         before = device.snapshot()
-        result = self._execute(left, right)
+        with self.bufferpool.workspace(self.budget.nbytes, owner=self.short_name):
+            result = self._execute(left, right)
         result.io = device.snapshot() - before
         return result
 

@@ -125,7 +125,7 @@ class PersistentMemoryDevice:
             raise ConfigurationError("cannot read a negative number of bytes")
         cachelines = self.geometry.bytes_to_cachelines(nbytes)
         cost = self.latency.read_cost_ns(cachelines)
-        self._counters.record_read(cachelines, int(nbytes), cost)
+        self._counters.record_read(cachelines, nbytes, cost)
         return cost
 
     def write(self, nbytes: int | float, address: int | None = None) -> float:
@@ -134,7 +134,7 @@ class PersistentMemoryDevice:
             raise ConfigurationError("cannot write a negative number of bytes")
         cachelines = self.geometry.bytes_to_cachelines(nbytes)
         cost = self.latency.write_cost_ns(cachelines)
-        self._counters.record_write(cachelines, int(nbytes), cost)
+        self._counters.record_write(cachelines, nbytes, cost)
         if address is not None:
             region = address // self._wear_region_bytes
             self._wear[region] = self._wear.get(region, 0.0) + cachelines
@@ -166,7 +166,7 @@ class PersistentMemoryDevice:
             return 0.0
         cachelines = self.geometry.bytes_to_cachelines(nbytes)
         cost = self.latency.read_cost_ns(cachelines)
-        self._counters.record_read_bulk(cachelines, int(nbytes), cost, count)
+        self._counters.record_read_bulk(cachelines, nbytes, cost, count)
         return cost * count
 
     def write_bulk(
@@ -181,7 +181,7 @@ class PersistentMemoryDevice:
             return 0.0
         cachelines = self.geometry.bytes_to_cachelines(nbytes)
         cost = self.latency.write_cost_ns(cachelines)
-        self._counters.record_write_bulk(cachelines, int(nbytes), cost, count)
+        self._counters.record_write_bulk(cachelines, nbytes, cost, count)
         if address is not None:
             region = address // self._wear_region_bytes
             self._wear[region] = self._wear.get(region, 0.0) + cachelines * count

@@ -20,13 +20,16 @@ class IOCounters:
     Cacheline counts are kept as floats: the paper explicitly drops floor
     and ceiling functions from its analysis because buffers are small, and
     the simulator mirrors that by charging fractional cachelines for
-    transfers that are not cacheline multiples.
+    transfers that are not cacheline multiples.  Byte totals are likewise
+    accumulated exactly (fractional-cacheline transfers may carry
+    fractional bytes); they are rounded to integers only when a snapshot
+    is taken, so per-charge truncation cannot drift the totals downward.
     """
 
     cacheline_reads: float = 0.0
     cacheline_writes: float = 0.0
-    bytes_read: int = 0
-    bytes_written: int = 0
+    bytes_read: float = 0.0
+    bytes_written: float = 0.0
     read_calls: int = 0
     write_calls: int = 0
     #: Simulated time spent on data transfer (reads + writes), nanoseconds.
@@ -46,20 +49,24 @@ class IOCounters:
     def total_cachelines(self) -> float:
         return self.cacheline_reads + self.cacheline_writes
 
-    def record_read(self, cachelines: float, nbytes: int, cost_ns: float) -> None:
+    def record_read(
+        self, cachelines: float, nbytes: int | float, cost_ns: float
+    ) -> None:
         self.cacheline_reads += cachelines
         self.bytes_read += nbytes
         self.read_calls += 1
         self.transfer_ns += cost_ns
 
-    def record_write(self, cachelines: float, nbytes: int, cost_ns: float) -> None:
+    def record_write(
+        self, cachelines: float, nbytes: int | float, cost_ns: float
+    ) -> None:
         self.cacheline_writes += cachelines
         self.bytes_written += nbytes
         self.write_calls += 1
         self.transfer_ns += cost_ns
 
     def record_read_bulk(
-        self, cachelines: float, nbytes: int, cost_ns: float, count: int
+        self, cachelines: float, nbytes: int | float, cost_ns: float, count: int
     ) -> None:
         """Record ``count`` identical reads in one update.
 
@@ -73,7 +80,7 @@ class IOCounters:
         self.transfer_ns += cost_ns * count
 
     def record_write_bulk(
-        self, cachelines: float, nbytes: int, cost_ns: float, count: int
+        self, cachelines: float, nbytes: int | float, cost_ns: float, count: int
     ) -> None:
         """Record ``count`` identical writes in one update."""
         self.cacheline_writes += cachelines * count
@@ -88,24 +95,30 @@ class IOCounters:
         )
 
     def snapshot(self) -> "IOSnapshot":
-        """An immutable copy of the current totals."""
+        """An immutable copy of the current totals.
+
+        Byte totals are exposed as integers here (rounded once, over the
+        exact accumulated sums) and the per-label overhead breakdown is
+        carried along so snapshot deltas can attribute overhead to labels.
+        """
         return IOSnapshot(
             cacheline_reads=self.cacheline_reads,
             cacheline_writes=self.cacheline_writes,
-            bytes_read=self.bytes_read,
-            bytes_written=self.bytes_written,
+            bytes_read=int(round(self.bytes_read)),
+            bytes_written=int(round(self.bytes_written)),
             read_calls=self.read_calls,
             write_calls=self.write_calls,
             transfer_ns=self.transfer_ns,
             overhead_ns=self.overhead_ns,
+            overhead_breakdown=dict(self.overhead_breakdown),
         )
 
     def reset(self) -> None:
         """Zero every counter (used between benchmark repetitions)."""
         self.cacheline_reads = 0.0
         self.cacheline_writes = 0.0
-        self.bytes_read = 0
-        self.bytes_written = 0
+        self.bytes_read = 0.0
+        self.bytes_written = 0.0
         self.read_calls = 0
         self.write_calls = 0
         self.transfer_ns = 0.0
@@ -133,6 +146,9 @@ class IOSnapshot:
     write_calls: int = 0
     transfer_ns: float = 0.0
     overhead_ns: float = 0.0
+    #: Per-label overhead attribution (e.g. ``"syscall"``, ``"reallocation"``);
+    #: subtracts and adds label-wise along with the scalar counters.
+    overhead_breakdown: dict = field(default_factory=dict)
 
     @property
     def total_ns(self) -> float:
@@ -164,6 +180,9 @@ class IOSnapshot:
             write_calls=self.write_calls - other.write_calls,
             transfer_ns=self.transfer_ns - other.transfer_ns,
             overhead_ns=self.overhead_ns - other.overhead_ns,
+            overhead_breakdown=_combine_breakdowns(
+                self.overhead_breakdown, other.overhead_breakdown, sign=-1.0
+            ),
         )
 
     def __add__(self, other: "IOSnapshot") -> "IOSnapshot":
@@ -176,6 +195,9 @@ class IOSnapshot:
             write_calls=self.write_calls + other.write_calls,
             transfer_ns=self.transfer_ns + other.transfer_ns,
             overhead_ns=self.overhead_ns + other.overhead_ns,
+            overhead_breakdown=_combine_breakdowns(
+                self.overhead_breakdown, other.overhead_breakdown, sign=1.0
+            ),
         )
 
     def as_dict(self) -> dict:
@@ -189,5 +211,16 @@ class IOSnapshot:
             "write_calls": self.write_calls,
             "transfer_ns": self.transfer_ns,
             "overhead_ns": self.overhead_ns,
+            "overhead_breakdown": dict(self.overhead_breakdown),
             "total_ns": self.total_ns,
         }
+
+
+def _combine_breakdowns(left: dict, right: dict, sign: float) -> dict:
+    """Label-wise ``left + sign * right``, dropping labels that cancel."""
+    combined = {}
+    for label in left.keys() | right.keys():
+        value = left.get(label, 0.0) + sign * right.get(label, 0.0)
+        if value != 0.0:
+            combined[label] = value
+    return combined

@@ -1,0 +1,320 @@
+"""Logical query plans.
+
+A logical plan is a tree of operator nodes over persistent collections:
+``Scan``, ``Filter``, ``Project``, ``Join``, ``GroupBy`` and ``OrderBy``.
+The tree says *what* the query computes; choosing *how* -- which of the
+paper's physical sort/join/aggregation algorithms implements each node --
+is the job of :class:`repro.query.planner.CostBasedPlanner`.
+
+Plans are normally built through the fluent :class:`Query` builder::
+
+    query = (
+        Query.scan(orders)
+        .filter(lambda r: r[0] < 1_000, selectivity=0.5)
+        .join(Query.scan(lineitems))
+        .order_by()
+    )
+
+Every node knows its output :class:`~repro.storage.schema.Schema`, so the
+planner can convert cardinality estimates into the cacheline counts the
+Section 2 cost models are expressed in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.exceptions import ConfigurationError
+from repro.joins.common import joined_schema
+from repro.storage.collection import PersistentCollection
+from repro.storage.schema import Schema
+
+
+class LogicalNode:
+    """Base class for logical plan nodes."""
+
+    #: Node kind used in plan renderings (``Scan``, ``Filter``, ...).
+    kind: str = "node"
+
+    @property
+    def children(self) -> tuple["LogicalNode", ...]:
+        return ()
+
+    def output_schema(self) -> Schema:
+        """Schema of the records this node produces."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """One-line rendering used by ``explain()``."""
+        return self.kind
+
+
+@dataclass(frozen=True)
+class Scan(LogicalNode):
+    """Leaf node: read one persistent collection."""
+
+    collection: PersistentCollection
+
+    kind = "Scan"
+
+    def output_schema(self) -> Schema:
+        return self.collection.schema
+
+    def describe(self) -> str:
+        return f"Scan[{self.collection.name}]"
+
+
+@dataclass(frozen=True)
+class Filter(LogicalNode):
+    """Keep the child records satisfying ``predicate``.
+
+    ``selectivity`` is the planner's estimate of the surviving fraction
+    (the runtime API's ``f``); it scales the cardinality fed to every
+    operator above this node.
+    """
+
+    child: LogicalNode
+    predicate: Callable[[tuple], bool]
+    selectivity: float = 0.5
+
+    kind = "Filter"
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.selectivity <= 1.0:
+            raise ConfigurationError(
+                f"selectivity must lie in (0, 1], got {self.selectivity}"
+            )
+
+    @property
+    def children(self) -> tuple[LogicalNode, ...]:
+        return (self.child,)
+
+    def output_schema(self) -> Schema:
+        return self.child.output_schema()
+
+    def describe(self) -> str:
+        return f"Filter[selectivity={self.selectivity:.2f}]"
+
+
+@dataclass(frozen=True)
+class Project(LogicalNode):
+    """Keep only the attributes at ``indices`` (in the given order)."""
+
+    child: LogicalNode
+    indices: tuple[int, ...]
+
+    kind = "Project"
+
+    def __post_init__(self) -> None:
+        if not self.indices:
+            raise ConfigurationError("projection needs at least one attribute")
+        child_fields = self.child.output_schema().num_fields
+        for index in self.indices:
+            if not 0 <= index < child_fields:
+                raise ConfigurationError(
+                    f"projected attribute {index} outside the child's "
+                    f"{child_fields} attributes"
+                )
+
+    @property
+    def children(self) -> tuple[LogicalNode, ...]:
+        return (self.child,)
+
+    def output_schema(self) -> Schema:
+        child_schema = self.child.output_schema()
+        key_index = (
+            self.indices.index(child_schema.key_index)
+            if child_schema.key_index in self.indices
+            else 0
+        )
+        return Schema(
+            num_fields=len(self.indices),
+            field_bytes=child_schema.field_bytes,
+            key_index=key_index,
+        )
+
+    def describe(self) -> str:
+        return f"Project[{', '.join(map(str, self.indices))}]"
+
+
+@dataclass(frozen=True)
+class Join(LogicalNode):
+    """Equi-join of two inputs on their schemas' key attributes.
+
+    Output records are the concatenation ``left_record + right_record``
+    regardless of which side the planner chooses as the build input.
+    """
+
+    left: LogicalNode
+    right: LogicalNode
+
+    kind = "Join"
+
+    def __post_init__(self) -> None:
+        left_schema = self.left.output_schema()
+        right_schema = self.right.output_schema()
+        if left_schema.field_bytes != right_schema.field_bytes:
+            raise ConfigurationError(
+                "join inputs must share a field width to concatenate records"
+            )
+
+    @property
+    def children(self) -> tuple[LogicalNode, ...]:
+        return (self.left, self.right)
+
+    def output_schema(self) -> Schema:
+        return joined_schema(self.left.output_schema(), self.right.output_schema())
+
+    def describe(self) -> str:
+        return "Join[key = key]"
+
+
+@dataclass(frozen=True)
+class GroupBy(LogicalNode):
+    """Grouped aggregation on the attribute at ``group_index``.
+
+    ``aggregates`` maps aggregate names ("count", "sum", "min", "max",
+    "avg") to the attribute index they are computed over, exactly as in
+    :mod:`repro.aggregation`.  ``estimated_groups`` feeds the planner's
+    hash-vs-sorted choice; when omitted the planner conservatively assumes
+    one group per input record.
+    """
+
+    child: LogicalNode
+    group_index: int = 0
+    aggregates: Optional[tuple[tuple[str, int], ...]] = None
+    estimated_groups: Optional[int] = None
+
+    kind = "GroupBy"
+
+    def __post_init__(self) -> None:
+        child_fields = self.child.output_schema().num_fields
+        if not 0 <= self.group_index < child_fields:
+            raise ConfigurationError(
+                f"group attribute {self.group_index} outside the child's "
+                f"{child_fields} attributes"
+            )
+        if self.estimated_groups is not None and self.estimated_groups <= 0:
+            raise ConfigurationError("estimated_groups must be positive")
+
+    @property
+    def children(self) -> tuple[LogicalNode, ...]:
+        return (self.child,)
+
+    def aggregate_spec(self) -> dict[str, int]:
+        if self.aggregates is None:
+            return {"count": self.group_index}
+        return dict(self.aggregates)
+
+    def output_schema(self) -> Schema:
+        child_schema = self.child.output_schema()
+        return Schema(
+            num_fields=1 + len(self.aggregate_spec()),
+            field_bytes=child_schema.field_bytes,
+            key_index=0,
+        )
+
+    def describe(self) -> str:
+        spec = ", ".join(
+            f"{name}({attribute})" for name, attribute in self.aggregate_spec().items()
+        )
+        return f"GroupBy[attr {self.group_index}; {spec}]"
+
+
+@dataclass(frozen=True)
+class OrderBy(LogicalNode):
+    """Sort the child on the attribute at ``key_index``.
+
+    ``key_index`` defaults to the child schema's key attribute.
+    """
+
+    child: LogicalNode
+    key_index: Optional[int] = None
+
+    kind = "OrderBy"
+
+    def __post_init__(self) -> None:
+        child_fields = self.child.output_schema().num_fields
+        if self.key_index is not None and not 0 <= self.key_index < child_fields:
+            raise ConfigurationError(
+                f"sort attribute {self.key_index} outside the child's "
+                f"{child_fields} attributes"
+            )
+
+    @property
+    def children(self) -> tuple[LogicalNode, ...]:
+        return (self.child,)
+
+    def sort_schema(self) -> Schema:
+        """The child schema re-keyed on the requested sort attribute."""
+        child_schema = self.child.output_schema()
+        if self.key_index is None or self.key_index == child_schema.key_index:
+            return child_schema
+        return Schema(
+            num_fields=child_schema.num_fields,
+            field_bytes=child_schema.field_bytes,
+            key_index=self.key_index,
+        )
+
+    def output_schema(self) -> Schema:
+        return self.sort_schema()
+
+    def describe(self) -> str:
+        return f"OrderBy[attr {self.sort_schema().key_index}]"
+
+
+@dataclass(frozen=True)
+class Query:
+    """Fluent builder over logical nodes.
+
+    Each method returns a new ``Query`` wrapping the extended tree, so
+    partial queries can be shared and reused.  ``Query`` instances are
+    accepted anywhere a logical node is (the planner unwraps them).
+    """
+
+    node: LogicalNode = field()
+
+    @staticmethod
+    def scan(collection: PersistentCollection) -> "Query":
+        return Query(Scan(collection))
+
+    def filter(
+        self, predicate: Callable[[tuple], bool], selectivity: float = 0.5
+    ) -> "Query":
+        return Query(Filter(self.node, predicate, selectivity))
+
+    def project(self, *indices: int) -> "Query":
+        return Query(Project(self.node, tuple(indices)))
+
+    def join(self, other) -> "Query":
+        return Query(Join(self.node, _as_node(other)))
+
+    def group_by(
+        self,
+        group_index: int = 0,
+        aggregates: dict[str, int] | None = None,
+        estimated_groups: int | None = None,
+    ) -> "Query":
+        spec = tuple(aggregates.items()) if aggregates is not None else None
+        return Query(GroupBy(self.node, group_index, spec, estimated_groups))
+
+    def order_by(self, key_index: int | None = None) -> "Query":
+        return Query(OrderBy(self.node, key_index))
+
+    def output_schema(self) -> Schema:
+        return self.node.output_schema()
+
+
+def _as_node(source) -> LogicalNode:
+    """Coerce a Query, node, or collection into a logical node."""
+    if isinstance(source, Query):
+        return source.node
+    if isinstance(source, LogicalNode):
+        return source
+    if isinstance(source, PersistentCollection):
+        return Scan(source)
+    raise ConfigurationError(
+        f"cannot use {type(source).__name__} as a query input; expected a "
+        "Query, logical node, or PersistentCollection"
+    )

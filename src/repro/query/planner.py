@@ -1,0 +1,555 @@
+"""Cost-based physical planning.
+
+The planner walks a logical plan bottom-up and, for every node, prices the
+applicable physical operators with the paper's Section 2 analytical cost
+models -- parametrized on the device's write/read asymmetry ``lambda``,
+its geometry, and the DRAM :class:`~repro.storage.bufferpool.MemoryBudget`
+-- then keeps the cheapest:
+
+* ``OrderBy`` chooses among external mergesort, lazy sort, hybrid sort and
+  segment sort (Section 2.1);
+* ``Join`` chooses among block nested loops, Grace join (only when the
+  paper's ``M > sqrt(f |T|)`` applicability condition holds), simple hash
+  join, lazy hash join, segmented Grace join and the hybrid
+  Grace/nested-loops join (Section 2.2), putting the smaller estimated
+  input on the build side;
+* ``GroupBy`` chooses between hash aggregation (with a spill penalty once
+  the estimated group state outgrows the budget) and sorted aggregation
+  over the cheapest pipelined sort.
+
+Cardinality estimation is deliberately simple -- ``Filter`` scales by its
+declared selectivity, an equi-join is estimated at the size of its larger
+input (the paper's 1:N fanout workloads), and ``GroupBy`` defaults to one
+group per record unless told otherwise.  Histogram-based estimation is an
+open roadmap item.
+
+The execution convention the estimates assume matches
+:class:`repro.query.executor.QueryExecutor`: every operator's output is
+materialized on the persistent device except the plan root, which stays in
+DRAM (the paper factors final-output writes out of its comparisons) unless
+the executor is asked to materialize the result.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.aggregation.operators import HashAggregation, SortedAggregation
+from repro.exceptions import (
+    ConfigurationError,
+    CostModelError,
+    InsufficientMemoryError,
+)
+from repro.joins import (
+    GraceJoin,
+    HybridGraceNestedLoopsJoin,
+    LazyHashJoin,
+    NestedLoopsJoin,
+    SegmentedGraceJoin,
+    SimpleHashJoin,
+)
+from repro.joins import cost as join_cost
+from repro.pmem.backends.base import PersistenceBackend
+from repro.query.logical import (
+    Filter,
+    GroupBy,
+    Join,
+    LogicalNode,
+    OrderBy,
+    Project,
+    Query,
+    Scan,
+)
+from repro.sorts import ExternalMergeSort, HybridSort, LazySort, SegmentSort
+from repro.storage.bufferpool import Bufferpool, MemoryBudget
+from repro.storage.schema import Schema
+
+#: Sort operators the planner enumerates for ``OrderBy`` nodes.
+SORT_ALTERNATIVES = {
+    "ExMS": ExternalMergeSort,
+    "LaS": LazySort,
+    "HybS": HybridSort,
+    "SegS": SegmentSort,
+}
+
+#: Join operators the planner enumerates for ``Join`` nodes.
+JOIN_ALTERNATIVES = {
+    "NLJ": NestedLoopsJoin,
+    "GJ": GraceJoin,
+    "HJ": SimpleHashJoin,
+    "LaJ": LazyHashJoin,
+    "SegJ": SegmentedGraceJoin,
+    "HybJ": HybridGraceNestedLoopsJoin,
+}
+
+
+@dataclass
+class PlannedNode:
+    """One node of a physical plan.
+
+    ``factory(bufferpool)`` builds the configured physical operator for
+    nodes backed by a sort/join/aggregation algorithm; structural nodes
+    (scan, filter, project) carry ``None`` and are executed directly by
+    the executor.
+    """
+
+    logical: LogicalNode
+    #: Chosen physical operator label (e.g. ``"LaS"``, ``"GJ"``, ``"HashAgg"``).
+    operator: str
+    schema: Schema
+    est_records: float
+    #: Estimated device time of this node alone (children excluded), ns;
+    #: includes the output-settlement write when ``materialized``.
+    est_cost_ns: float
+    #: Every alternative the planner priced, label -> Section 2 model ns.
+    #: Model prices compare across alternatives but exclude the node's
+    #: output-settlement adjustment, so they need not match ``est_cost_ns``.
+    alternatives: dict[str, float] = field(default_factory=dict)
+    #: Whether this node's output is written to the persistent device.
+    materialized: bool = True
+    factory: Optional[Callable[[Optional[Bufferpool]], object]] = None
+    children: tuple["PlannedNode", ...] = ()
+    #: Operator-specific planning details (e.g. ``swapped`` for joins).
+    extra: dict = field(default_factory=dict)
+
+    def walk(self):
+        """Yield the subtree nodes in depth-first, children-first order."""
+        for child in self.children:
+            yield from child.walk()
+        yield self
+
+
+def output_write_cost_ns(
+    backend: PersistenceBackend, est_records: float, schema: Schema
+) -> float:
+    """Cost of materializing ``est_records`` of ``schema`` on the device."""
+    device = backend.device
+    buffers = device.geometry.bytes_to_cachelines(est_records * schema.record_bytes)
+    return buffers * device.write_read_ratio * device.latency.read_ns
+
+
+@dataclass
+class PhysicalPlan:
+    """A planned query: the physical tree plus the planning context."""
+
+    root: PlannedNode
+    backend: PersistenceBackend
+    budget: MemoryBudget
+
+    @property
+    def total_estimated_cost_ns(self) -> float:
+        return sum(node.est_cost_ns for node in self.root.walk())
+
+    def materialize_root(self) -> None:
+        """Mark the root's output for device materialization.
+
+        Re-adds the output-write term the planner removed when it pinned
+        the root to DRAM, keeping the estimate aligned with what the
+        executor's settlement step will charge.
+        """
+        if self.root.materialized:
+            return
+        self.root.materialized = True
+        self.root.est_cost_ns += output_write_cost_ns(
+            self.backend, self.root.est_records, self.root.schema
+        )
+
+    def explain(self, executions: dict | None = None) -> str:
+        """Render the plan, one line per node.
+
+        Each line shows the chosen operator, the estimated output
+        cardinality and the estimated cacheline I/O; after execution the
+        executor passes per-node actuals and the rendering shows estimated
+        vs. actual side by side.
+        """
+        read_ns = self.backend.device.latency.read_ns
+        lam = self.backend.device.write_read_ratio
+        lines = [
+            f"physical plan (lambda={lam:.1f}, "
+            f"M={self.budget.buffers:.0f} cachelines, "
+            f"backend={self.backend.name})"
+        ]
+        self._render(self.root, "", True, lines, read_ns, lam, executions)
+        return "\n".join(lines)
+
+    def _render(self, node, prefix, is_root, lines, read_ns, lam, executions):
+        est_weighted = node.est_cost_ns / read_ns
+        text = (
+            f"{node.logical.describe()} -> {node.operator}"
+            f"{'' if node.materialized else ' (pipelined)'}"
+            f" | est {node.est_records:.0f} rec,"
+            f" {est_weighted:.0f} wcl"
+        )
+        execution = (executions or {}).get(id(node))
+        if execution is not None:
+            actual_weighted = (
+                execution.io.cacheline_reads + lam * execution.io.cacheline_writes
+            )
+            text += (
+                f" | actual {execution.records} rec, {actual_weighted:.0f} wcl"
+                f" ({execution.io.cacheline_reads:.0f}r/"
+                f"{execution.io.cacheline_writes:.0f}w)"
+            )
+        if len(node.alternatives) > 1:
+            ranked = sorted(node.alternatives.items(), key=lambda item: item[1])
+            # Raw Section 2 model prices: comparable across alternatives,
+            # but excluding the output-settlement term folded into ``est``.
+            text += (
+                " | models: "
+                + ", ".join(f"{label} {ns / read_ns:.0f}" for label, ns in ranked)
+            )
+        lines.append(prefix + ("" if is_root else "+- ") + text)
+        child_prefix = prefix if is_root else prefix + "   "
+        for child in node.children:
+            self._render(child, child_prefix, False, lines, read_ns, lam, executions)
+
+
+class CostBasedPlanner:
+    """Chooses physical operators by pricing the Section 2 cost models.
+
+    Args:
+        backend: persistence backend (and through it the device whose
+            ``lambda`` and geometry parametrize every model).
+        budget: DRAM budget shared by the whole plan; one operator runs at
+            a time, so each node may use the full budget.
+    """
+
+    def __init__(self, backend: PersistenceBackend, budget: MemoryBudget) -> None:
+        self.backend = backend
+        self.budget = budget
+        device = backend.device
+        self.read_ns = device.latency.read_ns
+        self.lam = device.write_read_ratio
+        self._bytes_to_buffers = device.geometry.bytes_to_cachelines
+
+    def plan(self, query) -> PhysicalPlan:
+        """Plan a :class:`~repro.query.logical.Query` (or bare node)."""
+        node = query.node if isinstance(query, Query) else query
+        if not isinstance(node, LogicalNode):
+            raise ConfigurationError(
+                f"cannot plan a {type(query).__name__}; expected a Query or "
+                "logical node"
+            )
+        root = self._plan_node(node)
+        # The root stays in DRAM: the paper factors the final-output write
+        # out of its comparisons.  The executor re-adds it on request.
+        self._set_materialized(root, False)
+        return PhysicalPlan(root=root, backend=self.backend, budget=self.budget)
+
+    # ------------------------------------------------------------------ #
+    # Node dispatch.
+    # ------------------------------------------------------------------ #
+    def _plan_node(self, node: LogicalNode) -> PlannedNode:
+        if isinstance(node, Scan):
+            return self._plan_scan(node)
+        if isinstance(node, Filter):
+            return self._plan_filter(node)
+        if isinstance(node, Project):
+            return self._plan_project(node)
+        if isinstance(node, Join):
+            return self._plan_join(node)
+        if isinstance(node, OrderBy):
+            return self._plan_order_by(node)
+        if isinstance(node, GroupBy):
+            return self._plan_group_by(node)
+        raise ConfigurationError(f"unknown logical node {type(node).__name__}")
+
+    def _plan_scan(self, node: Scan) -> PlannedNode:
+        # Reads are charged to the consuming operator, so a scan itself is
+        # free; its collection is already materialized.
+        return PlannedNode(
+            logical=node,
+            operator="Scan",
+            schema=node.output_schema(),
+            est_records=float(len(node.collection)),
+            est_cost_ns=0.0,
+        )
+
+    def _plan_filter(self, node: Filter) -> PlannedNode:
+        child = self._plan_node(node.child)
+        est_records = child.est_records * node.selectivity
+        cost_ns = self._scan_cost_ns(child) + self._write_cost_ns(
+            est_records, node.output_schema()
+        )
+        return PlannedNode(
+            logical=node,
+            operator="Filter",
+            schema=node.output_schema(),
+            est_records=est_records,
+            est_cost_ns=cost_ns,
+            children=(child,),
+        )
+
+    def _plan_project(self, node: Project) -> PlannedNode:
+        child = self._plan_node(node.child)
+        cost_ns = self._scan_cost_ns(child) + self._write_cost_ns(
+            child.est_records, node.output_schema()
+        )
+        return PlannedNode(
+            logical=node,
+            operator="Project",
+            schema=node.output_schema(),
+            est_records=child.est_records,
+            est_cost_ns=cost_ns,
+            children=(child,),
+        )
+
+    def _plan_join(self, node: Join) -> PlannedNode:
+        left = self._plan_node(node.left)
+        right = self._plan_node(node.right)
+        # The paper's convention: the build input T is the smaller one.
+        swapped = right.est_records * right.schema.record_bytes < (
+            left.est_records * left.schema.record_bytes
+        )
+        build, probe = (right, left) if swapped else (left, right)
+        build_buffers = max(1.0, self._buffers(build.est_records, build.schema))
+        probe_buffers = max(1.0, self._buffers(probe.est_records, probe.schema))
+
+        alternatives: dict[str, float] = {}
+        for label, join_class in JOIN_ALTERNATIVES.items():
+            if label == "GJ" and not join_cost.grace_applicable(
+                build_buffers, self.budget.buffers
+            ):
+                continue
+            try:
+                candidate = join_class(
+                    self.backend,
+                    self.budget,
+                    left_schema=build.schema,
+                    right_schema=probe.schema,
+                    materialize_output=False,
+                )
+                alternatives[label] = candidate.estimated_cost_ns(
+                    build_buffers, probe_buffers
+                )
+            except (CostModelError, ConfigurationError, InsufficientMemoryError):
+                continue
+        operator, model_ns = self._cheapest(alternatives, "NLJ")
+
+        est_records = max(left.est_records, right.est_records)
+        out_schema = node.output_schema()
+        cost_ns = model_ns + self._write_cost_ns(est_records, out_schema)
+
+        join_class = JOIN_ALTERNATIVES[operator]
+        build_schema, probe_schema = build.schema, probe.schema
+
+        def factory(bufferpool=None, _class=join_class):
+            return _class(
+                self.backend,
+                self.budget,
+                left_schema=build_schema,
+                right_schema=probe_schema,
+                materialize_output=False,
+                bufferpool=bufferpool,
+            )
+
+        return PlannedNode(
+            logical=node,
+            operator=operator,
+            schema=out_schema,
+            est_records=est_records,
+            est_cost_ns=cost_ns,
+            alternatives=alternatives,
+            factory=factory,
+            children=(left, right),
+            extra={"swapped": swapped},
+        )
+
+    def _plan_order_by(self, node: OrderBy) -> PlannedNode:
+        child = self._plan_node(node.child)
+        sort_schema = node.sort_schema()
+        input_buffers = max(1.0, self._buffers(child.est_records, sort_schema))
+        alternatives = self._price_sorts(sort_schema, input_buffers)
+        operator, model_ns = self._cheapest(alternatives, "ExMS")
+        sort_class = SORT_ALTERNATIVES[operator]
+
+        def factory(bufferpool=None, _class=sort_class):
+            return _class(
+                self.backend,
+                self.budget,
+                schema=sort_schema,
+                materialize_output=False,
+                bufferpool=bufferpool,
+            )
+
+        # The Section 2.1 models include writing the sorted output once
+        # (identically across algorithms); the executor's copy-out step
+        # realizes exactly that write, so the model is used as-is.
+        return PlannedNode(
+            logical=node,
+            operator=operator,
+            schema=sort_schema,
+            est_records=child.est_records,
+            est_cost_ns=model_ns,
+            alternatives=alternatives,
+            factory=factory,
+            children=(child,),
+        )
+
+    def _plan_group_by(self, node: GroupBy) -> PlannedNode:
+        child = self._plan_node(node.child)
+        out_schema = node.output_schema()
+        groups = float(node.estimated_groups or max(1.0, child.est_records))
+        group_schema = Schema(
+            num_fields=child.schema.num_fields,
+            field_bytes=child.schema.field_bytes,
+            key_index=node.group_index,
+        )
+        input_buffers = max(1.0, self._buffers(child.est_records, group_schema))
+
+        alternatives = {"HashAgg": self._hash_aggregation_cost_ns(input_buffers, groups)}
+        sort_alternatives = self._price_sorts(group_schema, input_buffers)
+        if sort_alternatives:
+            best_sort, sort_ns = min(
+                sort_alternatives.items(), key=lambda item: item[1]
+            )
+            # The aggregation pipelines the sort (no sorted-output write);
+            # subtract the model's uniform output term.
+            pipelined_ns = max(
+                0.0, sort_ns - input_buffers * self.lam * self.read_ns
+            )
+            alternatives[f"SortAgg[{best_sort}]"] = pipelined_ns
+        operator, model_ns = self._cheapest(alternatives, "HashAgg")
+
+        spec = node.aggregate_spec()
+        group_index = node.group_index
+        if operator == "HashAgg":
+
+            def factory(bufferpool=None):
+                return HashAggregation(
+                    self.backend,
+                    self.budget,
+                    group_index=group_index,
+                    aggregates=spec,
+                    schema=child.schema,
+                    materialize_output=False,
+                    bufferpool=bufferpool,
+                )
+
+        else:
+            sort_class = SORT_ALTERNATIVES[operator.split("[", 1)[1].rstrip("]")]
+
+            def factory(bufferpool=None, _sort_class=sort_class):
+                return SortedAggregation(
+                    self.backend,
+                    self.budget,
+                    group_index=group_index,
+                    aggregates=spec,
+                    schema=child.schema,
+                    materialize_output=False,
+                    bufferpool=bufferpool,
+                    sort_class=_sort_class,
+                )
+
+        cost_ns = model_ns + self._write_cost_ns(groups, out_schema)
+        return PlannedNode(
+            logical=node,
+            operator=operator,
+            schema=out_schema,
+            est_records=groups,
+            est_cost_ns=cost_ns,
+            alternatives=alternatives,
+            factory=factory,
+            children=(child,),
+            extra={"estimated_groups": groups},
+        )
+
+    # ------------------------------------------------------------------ #
+    # Pricing helpers.
+    # ------------------------------------------------------------------ #
+    def _price_sorts(self, schema: Schema, input_buffers: float) -> dict[str, float]:
+        alternatives: dict[str, float] = {}
+        for label, sort_class in SORT_ALTERNATIVES.items():
+            try:
+                candidate = sort_class(
+                    self.backend, self.budget, schema=schema, materialize_output=False
+                )
+                if label == "SegS":
+                    alternatives[label] = self._segment_sort_price(
+                        candidate, input_buffers
+                    )
+                else:
+                    alternatives[label] = candidate.estimated_cost_ns(input_buffers)
+            except (CostModelError, ConfigurationError, InsufficientMemoryError):
+                continue
+        return alternatives
+
+    def _segment_sort_price(self, candidate, input_buffers: float) -> float:
+        """Implementation-faithful segment sort price.
+
+        Eq. 1's merge term charges ``|T| r (1+lambda) log_M(x|T|/2M + 1)``,
+        which goes *below one pass over the run portion* once the runs fit
+        a single merge fan-in.  The implementation still has to merge the
+        run portion into the contiguous output exactly once (rewriting
+        those x|T| buffers), so pricing with the raw expression
+        systematically undercuts segment sort against lazy sort on the
+        write-intensity grid.  This price keeps Eq. 1's run-generation and
+        selection terms but floors the merge at one pass over x|T|.
+        """
+        x = candidate.resolve_intensity(input_buffers)
+        t = input_buffers
+        m = max(self.budget.buffers, 2.0)
+        r = self.read_ns
+        run_generation = x * t * r * (1.0 + self.lam)
+        selection = (1.0 - x) * t * r * ((1.0 - x) * t / m + self.lam)
+        merge = 0.0
+        if x > 0.0:
+            passes = max(1.0, math.log(x * t / (2.0 * m) + 1.0, m))
+            merge = x * t * r * (1.0 + self.lam) * passes
+        return run_generation + selection + merge
+
+    def _hash_aggregation_cost_ns(self, input_buffers: float, groups: float) -> float:
+        """Read the input once; spill-and-reread the overflow group state.
+
+        Mirrors :class:`~repro.aggregation.operators.HashAggregation`: when
+        the estimated group state exceeds the budget, the overflowing
+        fraction of the input is written to spill partitions and re-read in
+        a later pass.
+        """
+        cost = input_buffers * self.read_ns
+        capacity = max(1.0, self.budget.nbytes / HashAggregation.GROUP_STATE_BYTES)
+        if groups > capacity:
+            overflow_fraction = 1.0 - capacity / groups
+            cost += (
+                overflow_fraction
+                * input_buffers
+                * self.read_ns
+                * (1.0 + self.lam)
+            )
+        return cost
+
+    def _cheapest(self, alternatives: dict[str, float], fallback: str):
+        if not alternatives:
+            return fallback, 0.0
+        label = min(alternatives, key=alternatives.get)
+        return label, alternatives[label]
+
+    def _buffers(self, est_records: float, schema: Schema) -> float:
+        return self._bytes_to_buffers(est_records * schema.record_bytes)
+
+    def _scan_cost_ns(self, child: PlannedNode) -> float:
+        """Cost of reading a child's output (free when it stayed in DRAM)."""
+        if not child.materialized:
+            return 0.0
+        return self._buffers(child.est_records, child.schema) * self.read_ns
+
+    def _write_cost_ns(self, est_records: float, schema: Schema) -> float:
+        return output_write_cost_ns(self.backend, est_records, schema)
+
+    def _set_materialized(self, node: PlannedNode, materialized: bool) -> None:
+        if node.materialized == materialized or isinstance(node.logical, Scan):
+            return
+        node.materialized = materialized
+        if not materialized:
+            # Remove the output-write term the estimate carried.  OrderBy
+            # models bundle it (uniformly across algorithms), so the same
+            # subtraction applies.
+            node.est_cost_ns = max(
+                0.0,
+                node.est_cost_ns
+                - self._write_cost_ns(node.est_records, node.schema),
+            )
+        else:
+            node.est_cost_ns += self._write_cost_ns(node.est_records, node.schema)

@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 from repro.exceptions import ConfigurationError, InsufficientMemoryError
 from repro.pmem.backends.base import PersistenceBackend
 from repro.pmem.metrics import IOSnapshot
-from repro.storage.bufferpool import MemoryBudget
+from repro.storage.bufferpool import Bufferpool, MemoryBudget
 from repro.storage.collection import CollectionStatus, PersistentCollection
 from repro.storage.schema import Schema, WISCONSIN_SCHEMA
 
@@ -64,6 +64,10 @@ class SortAlgorithm(abc.ABC):
             when false the output collection is an in-memory one, as if
             pipelined to a consumer operator.
         output_name: name of the output collection; auto-derived otherwise.
+        bufferpool: pool the sort registers its DRAM workspace with while
+            running, so the budget is enforced rather than advisory.  A
+            private pool over ``budget`` is used when omitted; the query
+            executor passes its shared pool here.
     """
 
     #: Abbreviation used in the paper's figures (e.g. ``ExMS``).
@@ -78,12 +82,14 @@ class SortAlgorithm(abc.ABC):
         schema: Schema = WISCONSIN_SCHEMA,
         materialize_output: bool = True,
         output_name: str | None = None,
+        bufferpool: Bufferpool | None = None,
     ) -> None:
         self.backend = backend
         self.budget = budget
         self.schema = schema
         self.materialize_output = materialize_output
         self.output_name = output_name
+        self.bufferpool = bufferpool if bufferpool is not None else Bufferpool(budget)
         self.workspace_records = budget.record_capacity(schema)
         if self.workspace_records < 1:
             raise InsufficientMemoryError(
@@ -101,7 +107,8 @@ class SortAlgorithm(abc.ABC):
             )
         device = self.backend.device
         before = device.snapshot()
-        result = self._execute(collection)
+        with self.bufferpool.workspace(self.budget.nbytes, owner=self.short_name):
+            result = self._execute(collection)
         result.io = device.snapshot() - before
         return result
 

@@ -64,16 +64,30 @@ class MemoryBudget:
 
     @classmethod
     def fraction_of(
-        cls, collection, fraction: float, minimum_records: int = 4, **kwargs
+        cls,
+        collection,
+        fraction: float,
+        minimum_records: int = 4,
+        allow_overprovision: bool = False,
+        **kwargs,
     ) -> "MemoryBudget":
         """A budget equal to a fraction of a collection's size.
 
         The paper's sweeps express memory as 1-15 % of the input size; this
         constructor reproduces that parametrization.  ``minimum_records``
-        guards against degenerate budgets on tiny test inputs.
+        guards against degenerate budgets on tiny test inputs.  A fraction
+        above 1 builds a budget *larger* than the input, which no paper
+        sweep intends; it is rejected unless ``allow_overprovision`` makes
+        the intent explicit.
         """
         if not 0 < fraction:
             raise ConfigurationError("fraction must be positive")
+        if fraction > 1 and not allow_overprovision:
+            raise ConfigurationError(
+                f"fraction {fraction} exceeds the input size; pass "
+                "allow_overprovision=True to build a budget larger than "
+                "the collection"
+            )
         nbytes = max(
             int(collection.nbytes * fraction),
             minimum_records * collection.schema.record_bytes,
@@ -162,18 +176,42 @@ class Bufferpool:
             )
         self._reserved[owner] = self._reserved.get(owner, 0) + nbytes
 
-    def release(self, owner: str) -> None:
-        """Release every byte held by ``owner``."""
-        self._reserved.pop(owner, None)
+    def release(self, owner: str, nbytes: int | None = None) -> None:
+        """Release ``nbytes`` held by ``owner`` (everything when omitted).
+
+        Reserve/release pair exact amounts so that nested or repeated
+        reservations under the same owner stay balanced: releasing an inner
+        workspace must not drop the bytes of an outer one.
+        """
+        held = self._reserved.get(owner)
+        if held is None:
+            return
+        if nbytes is None:
+            nbytes = held
+        if nbytes < 0:
+            raise ConfigurationError("release must be non-negative")
+        if nbytes > held:
+            raise ConfigurationError(
+                f"{owner!r} released {nbytes} bytes but holds only {held}"
+            )
+        remaining = held - nbytes
+        if remaining:
+            self._reserved[owner] = remaining
+        else:
+            del self._reserved[owner]
 
     @contextmanager
     def workspace(self, nbytes: int, owner: str):
-        """Reserve-and-release context manager for an operator workspace."""
+        """Reserve-and-release context manager for an operator workspace.
+
+        Releases exactly the bytes it reserved, so same-owner workspaces
+        nest without the inner block freeing the outer reservation.
+        """
         self.reserve(nbytes, owner)
         try:
             yield
         finally:
-            self.release(owner)
+            self.release(owner, nbytes)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (

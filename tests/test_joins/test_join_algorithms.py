@@ -217,3 +217,40 @@ class TestConfiguration:
         plain = GraceJoin(backend, budget, partition_fudge_factor=1.0)
         padded = GraceJoin(backend, budget, partition_fudge_factor=1.5)
         assert padded.num_partitions_for(left) >= plain.num_partitions_for(left)
+
+
+class TestWorkspaceRegistration:
+    """Joins register their DRAM workspace against the bufferpool."""
+
+    def test_workspace_reserved_during_run_and_released_after(
+        self, backend, small_join_inputs, join_budget
+    ):
+        from repro.storage.bufferpool import Bufferpool
+
+        left, right = small_join_inputs
+        pool = Bufferpool(join_budget)
+        algorithm = GraceJoin(backend, join_budget, bufferpool=pool)
+        observed = []
+        original = algorithm._execute
+
+        def spying_execute(build, probe):
+            observed.append(pool.reserved_bytes)
+            return original(build, probe)
+
+        algorithm._execute = spying_execute
+        algorithm.join(left, right)
+        assert observed == [join_budget.nbytes]
+        assert pool.reserved_bytes == 0
+
+    def test_exhausted_shared_pool_rejects_the_join(
+        self, backend, small_join_inputs, join_budget
+    ):
+        from repro.exceptions import BufferpoolExhaustedError
+        from repro.storage.bufferpool import Bufferpool
+
+        left, right = small_join_inputs
+        pool = Bufferpool(join_budget)
+        pool.reserve(1, owner="other-operator")
+        algorithm = NestedLoopsJoin(backend, join_budget, bufferpool=pool)
+        with pytest.raises(BufferpoolExhaustedError):
+            algorithm.join(left, right)

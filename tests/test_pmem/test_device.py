@@ -72,6 +72,33 @@ class TestAccounting:
             device.write(128)
         assert cost.delta.cacheline_writes == pytest.approx(2.0)
 
+    def test_measure_attributes_overhead_labels(self, device):
+        device.overhead(5.0, label="syscall")
+        with device.measure() as cost:
+            device.overhead(42.0, label="syscall")
+            device.overhead(8.0, label="reallocation")
+        assert cost.delta.overhead_breakdown == {
+            "syscall": 42.0,
+            "reallocation": 8.0,
+        }
+
+    def test_sub_cacheline_byte_totals_do_not_drift(self, device):
+        # Regression: int(nbytes) floored every fractional-cacheline
+        # transfer, so 10 x 6.4-byte reads reported 60 bytes, not 64.
+        for _ in range(10):
+            device.read(6.4)
+            device.write(6.4)
+        snapshot = device.snapshot()
+        assert snapshot.bytes_read == 64
+        assert snapshot.bytes_written == 64
+
+    def test_sub_cacheline_byte_totals_do_not_drift_in_bulk(self, device):
+        device.read_bulk(6.4, count=10)
+        device.write_bulk(6.4, count=10)
+        snapshot = device.snapshot()
+        assert snapshot.bytes_read == 64
+        assert snapshot.bytes_written == 64
+
     def test_reset_counters(self, device):
         device.write(64)
         device.reset_counters()

@@ -66,6 +66,35 @@ class TestIOCounters:
         assert snapshot.cacheline_writes == pytest.approx(1.0)
         assert counters.cacheline_writes == pytest.approx(2.0)
 
+    def test_fractional_bytes_accumulate_exactly(self):
+        # Regression: each sub-cacheline charge used to be floored to an
+        # int, so ten 6.4-byte reads summed to 60 instead of 64 bytes.
+        counters = IOCounters()
+        for _ in range(10):
+            counters.record_read(cachelines=0.1, nbytes=6.4, cost_ns=1.0)
+        assert counters.bytes_read == pytest.approx(64.0)
+        assert counters.snapshot().bytes_read == 64
+
+    def test_fractional_bytes_accumulate_exactly_in_bulk(self):
+        counters = IOCounters()
+        counters.record_write_bulk(cachelines=0.1, nbytes=6.4, cost_ns=1.0, count=10)
+        assert counters.bytes_written == pytest.approx(64.0)
+        assert counters.snapshot().bytes_written == 64
+
+    def test_snapshot_carries_overhead_breakdown(self):
+        # Regression: snapshot() used to drop the per-label breakdown, so
+        # measure() deltas could not attribute overhead to labels.
+        counters = IOCounters()
+        counters.record_overhead(100.0, label="syscall")
+        counters.record_overhead(30.0, label="reallocation")
+        snapshot = counters.snapshot()
+        assert snapshot.overhead_breakdown == {
+            "syscall": 100.0,
+            "reallocation": 30.0,
+        }
+        counters.record_overhead(1.0, label="syscall")
+        assert snapshot.overhead_breakdown["syscall"] == pytest.approx(100.0)
+
 
 class TestIOSnapshot:
     def test_subtraction_gives_delta(self):
@@ -104,3 +133,35 @@ class TestIOSnapshot:
     def test_snapshot_is_immutable(self):
         with pytest.raises(AttributeError):
             IOSnapshot().cacheline_reads = 1.0
+
+    def test_subtraction_attributes_overhead_labels(self):
+        before = IOSnapshot(
+            overhead_ns=100.0, overhead_breakdown={"syscall": 100.0}
+        )
+        after = IOSnapshot(
+            overhead_ns=180.0,
+            overhead_breakdown={"syscall": 150.0, "reallocation": 30.0},
+        )
+        delta = after - before
+        assert delta.overhead_breakdown == {
+            "syscall": 50.0,
+            "reallocation": 30.0,
+        }
+
+    def test_subtraction_drops_cancelled_labels(self):
+        snapshot = IOSnapshot(
+            overhead_ns=10.0, overhead_breakdown={"syscall": 10.0}
+        )
+        assert (snapshot - snapshot).overhead_breakdown == {}
+
+    def test_addition_merges_overhead_labels(self):
+        a = IOSnapshot(overhead_breakdown={"syscall": 10.0})
+        b = IOSnapshot(overhead_breakdown={"syscall": 5.0, "reallocation": 2.0})
+        assert (a + b).overhead_breakdown == {
+            "syscall": 15.0,
+            "reallocation": 2.0,
+        }
+
+    def test_as_dict_includes_breakdown(self):
+        snapshot = IOSnapshot(overhead_breakdown={"syscall": 10.0})
+        assert snapshot.as_dict()["overhead_breakdown"] == {"syscall": 10.0}

@@ -1,0 +1,200 @@
+"""Executor correctness against brute-force in-memory evaluation."""
+
+import pytest
+
+from repro.bench.harness import budget_for, make_environment
+from repro.exceptions import BufferpoolExhaustedError
+from repro.query import CostBasedPlanner, Query, QueryExecutor, execute_query
+from repro.storage.bufferpool import Bufferpool, MemoryBudget
+from repro.workloads.generator import make_join_inputs, make_sort_input
+
+
+def brute_force_join(left_records, right_records):
+    """Reference equi-join: every (l, r) pair with matching keys."""
+    by_key = {}
+    for record in left_records:
+        by_key.setdefault(record[0], []).append(record)
+    return [
+        l + r
+        for r in right_records
+        for l in by_key.get(r[0], [])
+    ]
+
+
+class TestWisconsinCorrectness:
+    def test_order_by_matches_sorted(self, backend, small_sort_input, sort_budget):
+        result = execute_query(
+            Query.scan(small_sort_input).order_by(), backend, sort_budget
+        )
+        assert result.records == sorted(small_sort_input.records)
+        assert result.output.is_sorted()
+
+    def test_order_by_non_key_attribute(self, backend, small_sort_input, sort_budget):
+        result = execute_query(
+            Query.scan(small_sort_input).order_by(key_index=3), backend, sort_budget
+        )
+        assert [r[3] for r in result.records] == sorted(
+            r[3] for r in small_sort_input.records
+        )
+
+    def test_filter_project(self, backend, small_sort_input, sort_budget):
+        query = (
+            Query.scan(small_sort_input)
+            .filter(lambda r: r[0] % 2 == 0, selectivity=0.5)
+            .project(0, 4)
+        )
+        result = execute_query(query, backend, sort_budget)
+        expected = [
+            (r[0], r[4]) for r in small_sort_input.records if r[0] % 2 == 0
+        ]
+        assert result.records == expected
+
+    def test_filter_join_order_by_matches_brute_force(self, backend):
+        left, right = make_join_inputs(150, 1_500, backend)
+        budget = budget_for(left, 0.10)
+        query = (
+            Query.scan(left)
+            .filter(lambda r: r[0] < 75, selectivity=0.5)
+            .join(Query.scan(right))
+            .order_by()
+        )
+        result = execute_query(query, backend, budget)
+        expected = brute_force_join(
+            [r for r in left.records if r[0] < 75], right.records
+        )
+        assert sorted(result.records) == sorted(expected)
+        assert result.output.is_sorted()
+
+    def test_swapped_join_preserves_attribute_order(self, backend):
+        # The bigger input on the left forces the planner to swap the build
+        # side; output records must still read left + right.
+        left, right = make_join_inputs(150, 1_500, backend)
+        budget = budget_for(left, 0.10)
+        plan = CostBasedPlanner(backend, budget).plan(
+            Query.scan(right).join(Query.scan(left))
+        )
+        assert plan.root.extra["swapped"] is True
+        result = QueryExecutor(backend, budget).execute(plan)
+        expected = brute_force_join(right.records, left.records)
+        assert sorted(result.records) == sorted(expected)
+
+    @pytest.mark.parametrize("estimated_groups", [4, 400])
+    def test_group_by_matches_brute_force(
+        self, backend, small_sort_input, sort_budget, estimated_groups
+    ):
+        # Small and large group estimates exercise both physical operators.
+        query = Query.scan(small_sort_input).group_by(
+            1, {"count": 1, "sum": 0}, estimated_groups=estimated_groups
+        )
+        result = execute_query(query, backend, sort_budget)
+        expected = {}
+        for record in small_sort_input.records:
+            count, total = expected.get(record[1], (0, 0))
+            expected[record[1]] = (count + 1, total + record[0])
+        assert sorted(result.records) == sorted(
+            (key, count, total) for key, (count, total) in expected.items()
+        )
+
+
+class TestExecutionReporting:
+    def test_explain_reports_estimate_and_actual_for_every_node(self, backend):
+        left, right = make_join_inputs(150, 1_500, backend)
+        budget = budget_for(left, 0.10)
+        query = (
+            Query.scan(left)
+            .filter(lambda r: r[0] < 75, selectivity=0.5)
+            .join(Query.scan(right))
+            .order_by()
+        )
+        result = execute_query(query, backend, budget)
+        lines = result.explain().splitlines()
+        node_lines = lines[1:]  # first line is the plan header
+        assert len(node_lines) == 5  # OrderBy, Join, Filter, Scan, Scan
+        for line in node_lines:
+            assert "est" in line
+            assert "actual" in line
+
+    def test_per_node_io_sums_to_total(self, backend, small_sort_input, sort_budget):
+        result = execute_query(
+            Query.scan(small_sort_input).order_by(), backend, sort_budget
+        )
+        per_node = sum(
+            execution.io.total_ns for execution in result.executions.values()
+        )
+        assert per_node == pytest.approx(result.io.total_ns)
+
+    def test_root_output_stays_in_dram_by_default(
+        self, backend, small_sort_input, sort_budget
+    ):
+        result = execute_query(
+            Query.scan(small_sort_input).order_by(), backend, sort_budget
+        )
+        assert result.output.is_memory
+
+    def test_materialize_result_charges_output_writes(
+        self, backend, small_sort_input, sort_budget
+    ):
+        pipelined = execute_query(
+            Query.scan(small_sort_input).order_by(), backend, sort_budget
+        )
+        materialized = execute_query(
+            Query.scan(small_sort_input).order_by(),
+            backend,
+            sort_budget,
+            materialize_result=True,
+        )
+        assert materialized.output.is_materialized
+        assert (
+            materialized.io.cacheline_writes > pipelined.io.cacheline_writes
+        )
+        assert materialized.records == pipelined.records
+
+
+class TestBudgetEnforcement:
+    def test_operators_share_the_executor_bufferpool(
+        self, backend, small_sort_input, sort_budget
+    ):
+        pool = Bufferpool(sort_budget)
+        executor = QueryExecutor(backend, sort_budget, bufferpool=pool)
+        executor.execute(Query.scan(small_sort_input).order_by())
+        # Workspaces were reserved during the run and fully released after.
+        assert pool.reserved_bytes == 0
+
+    def test_exhausted_shared_pool_fails_loudly(
+        self, backend, small_sort_input, sort_budget
+    ):
+        pool = Bufferpool(sort_budget)
+        pool.reserve(1, owner="something-else")
+        executor = QueryExecutor(backend, sort_budget, bufferpool=pool)
+        with pytest.raises(BufferpoolExhaustedError):
+            executor.execute(Query.scan(small_sort_input).order_by())
+
+
+class TestCannedCliQueries:
+    def test_query_subcommand_runs(self, capsys):
+        from repro.cli import main
+
+        assert (
+            main(
+                [
+                    "query",
+                    "join-sort",
+                    "--left",
+                    "120",
+                    "--right",
+                    "1200",
+                    "--records",
+                    "300",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "physical plan" in out
+        assert "actual" in out
+
+    def test_list_includes_queries(self, capsys):
+        from repro.cli import main
+
+        assert main(["list"]) == 0
+        assert "query" in capsys.readouterr().out

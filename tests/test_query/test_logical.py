@@ -1,0 +1,134 @@
+"""Tests for the logical plan layer and the Query builder."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.query.logical import (
+    Filter,
+    GroupBy,
+    Join,
+    OrderBy,
+    Project,
+    Query,
+    Scan,
+)
+from repro.storage.schema import Schema
+
+from tests.conftest import build_collection
+
+
+class TestBuilder:
+    def test_chain_builds_expected_tree(self, backend):
+        left = build_collection(backend, range(10), name="ql-left")
+        right = build_collection(backend, range(20), name="ql-right")
+        query = (
+            Query.scan(left)
+            .filter(lambda r: r[0] < 5, selectivity=0.5)
+            .join(Query.scan(right))
+            .order_by()
+        )
+        node = query.node
+        assert isinstance(node, OrderBy)
+        assert isinstance(node.child, Join)
+        assert isinstance(node.child.left, Filter)
+        assert isinstance(node.child.left.child, Scan)
+        assert isinstance(node.child.right, Scan)
+
+    def test_join_accepts_bare_collection(self, backend):
+        left = build_collection(backend, range(10), name="qlb-left")
+        right = build_collection(backend, range(10), name="qlb-right")
+        query = Query.scan(left).join(right)
+        assert isinstance(query.node.right, Scan)
+
+    def test_join_rejects_other_types(self, backend):
+        left = build_collection(backend, range(10), name="qlr-left")
+        with pytest.raises(ConfigurationError):
+            Query.scan(left).join("not a collection")
+
+    def test_queries_are_reusable(self, backend):
+        base = Query.scan(build_collection(backend, range(10), name="qlu"))
+        first = base.filter(lambda r: True)
+        second = base.order_by()
+        assert isinstance(first.node, Filter)
+        assert isinstance(second.node, OrderBy)
+        assert first.node.child is second.node.child
+
+
+class TestSchemas:
+    def test_scan_schema_is_collection_schema(self, backend, schema):
+        collection = build_collection(backend, range(5), name="qs-scan")
+        assert Query.scan(collection).output_schema() is schema
+
+    def test_project_schema(self, backend):
+        collection = build_collection(backend, range(5), name="qs-proj")
+        projected = Query.scan(collection).project(2, 0, 5)
+        out = projected.output_schema()
+        assert out.num_fields == 3
+        # The key attribute (index 0) survives at position 1.
+        assert out.key_index == 1
+
+    def test_project_without_key_defaults_to_first(self, backend):
+        collection = build_collection(backend, range(5), name="qs-proj2")
+        out = Query.scan(collection).project(3, 4).output_schema()
+        assert out.key_index == 0
+
+    def test_join_schema_concatenates(self, backend):
+        left = build_collection(backend, range(5), name="qs-jl")
+        right = build_collection(backend, range(5), name="qs-jr")
+        out = Query.scan(left).join(Query.scan(right)).output_schema()
+        assert out.num_fields == 20
+        assert out.record_bytes == 160
+
+    def test_group_by_schema(self, backend):
+        collection = build_collection(backend, range(5), name="qs-gb")
+        out = (
+            Query.scan(collection)
+            .group_by(1, {"count": 1, "sum": 0})
+            .output_schema()
+        )
+        assert out.num_fields == 3
+        assert out.key_index == 0
+
+    def test_order_by_rekeys_schema(self, backend):
+        collection = build_collection(backend, range(5), name="qs-ob")
+        out = Query.scan(collection).order_by(key_index=3).output_schema()
+        assert out.key_index == 3
+
+
+class TestValidation:
+    def test_filter_selectivity_bounds(self, backend):
+        query = Query.scan(build_collection(backend, range(5), name="qv-f"))
+        with pytest.raises(ConfigurationError):
+            query.filter(lambda r: True, selectivity=0.0)
+        with pytest.raises(ConfigurationError):
+            query.filter(lambda r: True, selectivity=1.5)
+
+    def test_project_index_bounds(self, backend):
+        query = Query.scan(build_collection(backend, range(5), name="qv-p"))
+        with pytest.raises(ConfigurationError):
+            query.project()
+        with pytest.raises(ConfigurationError):
+            query.project(10)
+
+    def test_group_by_index_bounds(self, backend):
+        query = Query.scan(build_collection(backend, range(5), name="qv-g"))
+        with pytest.raises(ConfigurationError):
+            query.group_by(group_index=10)
+        with pytest.raises(ConfigurationError):
+            query.group_by(estimated_groups=0)
+
+    def test_order_by_index_bounds(self, backend):
+        query = Query.scan(build_collection(backend, range(5), name="qv-o"))
+        with pytest.raises(ConfigurationError):
+            query.order_by(key_index=10)
+
+    def test_join_field_width_mismatch(self, backend):
+        left = build_collection(backend, range(5), name="qv-jl")
+        wide = build_collection(
+            backend,
+            range(5),
+            name="qv-jr",
+            schema=Schema(num_fields=10, field_bytes=16),
+        )
+        with pytest.raises(ConfigurationError):
+            Query.scan(left).join(Query.scan(wide))

@@ -195,3 +195,43 @@ class TestConfiguration:
         algorithm = SegmentSort(backend, sort_budget)
         intensity = algorithm.resolve_intensity(small_sort_input.num_buffers)
         assert 0.0 < intensity < 1.0
+
+
+class TestWorkspaceRegistration:
+    """Sorts register their DRAM workspace against the bufferpool."""
+
+    def test_workspace_reserved_during_run_and_released_after(
+        self, backend, small_sort_input, sort_budget
+    ):
+        from repro.storage.bufferpool import Bufferpool
+
+        pool = Bufferpool(sort_budget)
+        algorithm = ExternalMergeSort(backend, sort_budget, bufferpool=pool)
+        observed = []
+        original = algorithm._execute
+
+        def spying_execute(collection):
+            observed.append(pool.reserved_bytes)
+            return original(collection)
+
+        algorithm._execute = spying_execute
+        algorithm.sort(small_sort_input)
+        assert observed == [sort_budget.nbytes]
+        assert pool.reserved_bytes == 0
+
+    def test_exhausted_shared_pool_rejects_the_sort(
+        self, backend, small_sort_input, sort_budget
+    ):
+        from repro.exceptions import BufferpoolExhaustedError
+        from repro.storage.bufferpool import Bufferpool
+
+        pool = Bufferpool(sort_budget)
+        pool.reserve(1, owner="other-operator")
+        algorithm = ExternalMergeSort(backend, sort_budget, bufferpool=pool)
+        with pytest.raises(BufferpoolExhaustedError):
+            algorithm.sort(small_sort_input)
+
+    def test_private_pool_by_default(self, backend, sort_budget):
+        algorithm = ExternalMergeSort(backend, sort_budget)
+        assert algorithm.bufferpool.budget is sort_budget
+        assert algorithm.bufferpool.reserved_bytes == 0

@@ -32,6 +32,23 @@ class TestMemoryBudget:
         budget = MemoryBudget.fraction_of(collection, 0.01, minimum_records=4)
         assert budget.record_capacity() >= 4
 
+    def test_fraction_above_one_rejected(self, backend):
+        collection = build_collection(backend, range(100), name="over-frac")
+        with pytest.raises(ConfigurationError):
+            MemoryBudget.fraction_of(collection, 1.5)
+
+    def test_fraction_above_one_allowed_explicitly(self, backend):
+        collection = build_collection(backend, range(100), name="over-frac-ok")
+        budget = MemoryBudget.fraction_of(
+            collection, 1.5, allow_overprovision=True
+        )
+        assert budget.nbytes == pytest.approx(collection.nbytes * 1.5)
+
+    def test_fraction_of_exactly_one_is_fine(self, backend):
+        collection = build_collection(backend, range(100), name="full-frac")
+        budget = MemoryBudget.fraction_of(collection, 1.0)
+        assert budget.nbytes == collection.nbytes
+
     def test_buffers_is_cachelines(self):
         budget = MemoryBudget.from_bytes(6400)
         assert budget.buffers == pytest.approx(100.0)
@@ -115,3 +132,37 @@ class TestBufferpool:
         pool = Bufferpool(MemoryBudget.from_bytes(1000))
         with pytest.raises(ConfigurationError):
             pool.reserve(-1, owner="sort")
+
+    def test_release_exact_amount(self):
+        pool = Bufferpool(MemoryBudget.from_bytes(1000))
+        pool.reserve(600, owner="sort")
+        pool.release("sort", 200)
+        assert pool.reserved_bytes == 400
+        pool.release("sort", 400)
+        assert pool.reserved_bytes == 0
+
+    def test_over_release_rejected(self):
+        pool = Bufferpool(MemoryBudget.from_bytes(1000))
+        pool.reserve(300, owner="sort")
+        with pytest.raises(ConfigurationError):
+            pool.release("sort", 400)
+        with pytest.raises(ConfigurationError):
+            pool.release("sort", -1)
+
+    def test_nested_same_owner_workspaces_keep_outer_reservation(self):
+        # Regression: release(owner) used to pop *all* bytes held by the
+        # owner, so an inner workspace block dropped the outer reservation
+        # to zero instead of back to 4000.
+        pool = Bufferpool(MemoryBudget.from_bytes(10_000))
+        with pool.workspace(4_000, owner="sort"):
+            with pool.workspace(2_500, owner="sort"):
+                assert pool.reserved_bytes == 6_500
+            assert pool.reserved_bytes == 4_000
+        assert pool.reserved_bytes == 0
+
+    def test_repeated_same_owner_reservations_release_exactly(self):
+        pool = Bufferpool(MemoryBudget.from_bytes(10_000))
+        pool.reserve(4_000, owner="sort")
+        with pool.workspace(1_000, owner="sort"):
+            assert pool.reserved_bytes == 5_000
+        assert pool.reserved_bytes == 4_000
