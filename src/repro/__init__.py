@@ -33,6 +33,15 @@ The package is organized as follows:
     each node's physical operator with the Section 2 cost models, and an
     executor with per-node estimated-vs-actual I/O reporting.
 
+``repro.shard``
+    Sharded parallel query execution: collections hash/range-partitioned
+    across N simulated devices (``ShardSet``/``ShardedCollection``), a
+    sharded planner that decomposes queries into per-shard fragments with
+    priced repartition exchanges (partition-wise joins, shard-local
+    aggregation), and a concurrent executor running one worker per device
+    under parent/child bufferpool shares, reporting per-shard estimated
+    vs. actual I/O and the critical-path (max-over-shards) cost.
+
 ``repro.workloads``
     Wisconsin-benchmark-style input generators.
 
@@ -82,6 +91,17 @@ from repro.query import (
     QueryResult,
     execute_query,
 )
+from repro.shard import (
+    HashPartitioner,
+    RangePartitioner,
+    ShardedCollection,
+    ShardedPhysicalPlan,
+    ShardedPlanner,
+    ShardedQueryExecutor,
+    ShardedQueryResult,
+    ShardSet,
+    execute_sharded_query,
+)
 
 __version__ = "1.0.0"
 
@@ -119,5 +139,14 @@ __all__ = [
     "QueryExecutor",
     "QueryResult",
     "execute_query",
+    "ShardSet",
+    "ShardedCollection",
+    "HashPartitioner",
+    "RangePartitioner",
+    "ShardedPlanner",
+    "ShardedPhysicalPlan",
+    "ShardedQueryExecutor",
+    "ShardedQueryResult",
+    "execute_sharded_query",
     "__version__",
 ]

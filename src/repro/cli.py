@@ -7,6 +7,7 @@ Usage::
     python -m repro figure 7 --left 800 --right 8000 --fractions 0.02 0.08 0.15
     python -m repro table 1
     python -m repro query join-sort --write-ns 300
+    python -m repro query join --shards 4
 
 Every ``figure``/``table`` subcommand drives the same experiment
 definitions as the ``benchmarks/`` directory and prints the series/rows
@@ -208,13 +209,37 @@ def _run_table1(args) -> str:
 # --------------------------------------------------------------------- #
 # Canned planner/executor queries over the Wisconsin workload.
 # --------------------------------------------------------------------- #
-def _query_sort(args, env):
-    relation = make_sort_input(args.records, env.backend, name="T")
+class _Relations:
+    """Builds the canned inputs on a single backend or a shard set."""
+
+    def __init__(self, env=None, shard_set=None):
+        self.env = env
+        self.shard_set = shard_set
+
+    def sort_input(self, num_records):
+        if self.shard_set is not None:
+            from repro.workloads.generator import make_sharded_sort_input
+
+            return make_sharded_sort_input(num_records, self.shard_set, name="T")
+        return make_sort_input(num_records, self.env.backend, name="T")
+
+    def join_inputs(self, left_records, right_records):
+        if self.shard_set is not None:
+            from repro.workloads.generator import make_sharded_join_inputs
+
+            return make_sharded_join_inputs(
+                left_records, right_records, self.shard_set
+            )
+        return make_join_inputs(left_records, right_records, self.env.backend)
+
+
+def _query_sort(args, relations):
+    relation = relations.sort_input(args.records)
     return Query.scan(relation).order_by(), relation
 
 
-def _query_filter_sort(args, env):
-    relation = make_sort_input(args.records, env.backend, name="T")
+def _query_filter_sort(args, relations):
+    relation = relations.sort_input(args.records)
     bound = args.records // 2
     query = (
         Query.scan(relation)
@@ -224,13 +249,13 @@ def _query_filter_sort(args, env):
     return query, relation
 
 
-def _query_join(args, env):
-    left, right = make_join_inputs(args.left, args.right, env.backend)
+def _query_join(args, relations):
+    left, right = relations.join_inputs(args.left, args.right)
     return Query.scan(left).join(Query.scan(right)), left
 
 
-def _query_join_sort(args, env):
-    left, right = make_join_inputs(args.left, args.right, env.backend)
+def _query_join_sort(args, relations):
+    left, right = relations.join_inputs(args.left, args.right)
     bound = args.left // 2
     query = (
         Query.scan(left)
@@ -241,8 +266,8 @@ def _query_join_sort(args, env):
     return query, left
 
 
-def _query_aggregate(args, env):
-    relation = make_sort_input(args.records, env.backend, name="T")
+def _query_aggregate(args, relations):
+    relation = relations.sort_input(args.records)
     query = Query.scan(relation).group_by(
         group_index=1,
         aggregates={"count": 1, "sum": 0, "max": 0},
@@ -267,22 +292,49 @@ QUERIES = {
 
 
 def _run_query(args) -> str:
-    env = make_environment(args.backend, write_ns=args.write_ns)
     _, builder = QUERIES[args.name]
-    query, budget_base = builder(args, env)
-    budget = MemoryBudget.fraction_of(budget_base, args.fraction)
-    executor = QueryExecutor(
-        env.backend, budget, materialize_result=args.materialize
-    )
-    result = executor.execute(query)
-    lines = [
-        result.explain(),
-        "",
-        f"output records    : {len(result.records)}",
-        f"simulated time    : {result.simulated_seconds * 1e3:.3f} ms",
-        f"cacheline reads   : {result.io.cacheline_reads:.0f}",
-        f"cacheline writes  : {result.io.cacheline_writes:.0f}",
-    ]
+    if args.shards < 1:
+        raise SystemExit(f"--shards must be at least 1, got {args.shards}")
+    if args.shards > 1:
+        if args.materialize:
+            raise SystemExit(
+                "--materialize is not supported with --shards > 1: the "
+                "sharded executor merges shard outputs in DRAM"
+            )
+        from repro.shard import ShardSet, ShardedQueryExecutor
+
+        shard_set = ShardSet.create(
+            args.shards, backend_name=args.backend, write_ns=args.write_ns
+        )
+        query, budget_base = builder(args, _Relations(shard_set=shard_set))
+        budget = MemoryBudget.fraction_of(budget_base, args.fraction)
+        result = ShardedQueryExecutor(shard_set, budget).execute(query)
+        lines = [
+            result.explain(),
+            "",
+            f"output records    : {len(result.records)}",
+            f"simulated time    : {result.simulated_seconds * 1e3:.3f} ms "
+            "(critical path)",
+            f"summed device time: {result.summed_seconds * 1e3:.3f} ms",
+            f"cacheline reads   : {result.io.cacheline_reads:.0f} (all shards)",
+            f"cacheline writes  : {result.io.cacheline_writes:.0f} (all shards)",
+        ]
+    else:
+        env = make_environment(args.backend, write_ns=args.write_ns)
+        query, budget_base = builder(args, _Relations(env=env))
+        budget = MemoryBudget.fraction_of(budget_base, args.fraction)
+        executor = QueryExecutor(
+            env.backend, budget, materialize_result=args.materialize
+        )
+        result = executor.execute(query)
+        lines = [
+            result.explain(),
+            "",
+            f"output records    : {len(result.records)}",
+            f"simulated time    : {result.simulated_seconds * 1e3:.3f} ms",
+            f"cacheline reads   : {result.io.cacheline_reads:.0f}",
+            f"cacheline writes  : {result.io.cacheline_writes:.0f}",
+        ]
     preview = result.records[: args.rows]
     if preview:
         lines.append(f"first {len(preview)} records:")
@@ -351,6 +403,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=150.0,
         help="device write latency (reads are 10 ns; sets lambda)",
+    )
+    query.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="partition the inputs across N simulated devices and run the "
+        "plan fragments concurrently (1 = single-device execution)",
     )
     query.add_argument(
         "--materialize",

@@ -170,6 +170,15 @@ class IOSnapshot:
             return 0.0
         return self.cacheline_writes / total
 
+    def weighted_cachelines(self, write_read_ratio: float) -> float:
+        """Cacheline traffic with writes weighted by ``lambda``.
+
+        ``reads + lambda * writes`` is the unit the paper's cost models
+        are expressed in; dividing a cost in ns by the read latency gives
+        the same figure, which is what ``explain()`` renders as ``wcl``.
+        """
+        return self.cacheline_reads + write_read_ratio * self.cacheline_writes
+
     def __sub__(self, other: "IOSnapshot") -> "IOSnapshot":
         return IOSnapshot(
             cacheline_reads=self.cacheline_reads - other.cacheline_reads,
@@ -214,6 +223,28 @@ class IOSnapshot:
             "overhead_breakdown": dict(self.overhead_breakdown),
             "total_ns": self.total_ns,
         }
+
+
+def sum_snapshots(snapshots) -> IOSnapshot:
+    """Element-wise sum of snapshots (e.g. the shards of one execution).
+
+    Summing per-shard deltas gives the total device traffic of a sharded
+    run, directly comparable to a single-device snapshot delta.
+    """
+    total = IOSnapshot()
+    for snapshot in snapshots:
+        total = total + snapshot
+    return total
+
+
+def critical_path_ns(snapshots) -> float:
+    """Simulated makespan of concurrent snapshots: the slowest one.
+
+    Devices execute independently in a sharded step, so the step's
+    simulated elapsed time is the maximum -- not the sum -- of the
+    per-device deltas.
+    """
+    return max((snapshot.total_ns for snapshot in snapshots), default=0.0)
 
 
 def _combine_breakdowns(left: dict, right: dict, sign: float) -> dict:

@@ -111,10 +111,22 @@ class QueryExecutor:
 
     def execute(self, query) -> QueryResult:
         """Plan (when needed) and run a query, collecting per-node I/O."""
+        if getattr(query, "is_sharded_plan", False):
+            raise ConfigurationError(
+                "this is a sharded plan; run it through "
+                "repro.shard.ShardedQueryExecutor (or execute_sharded_query) "
+                "instead of the single-device QueryExecutor"
+            )
         if isinstance(query, PhysicalPlan):
             plan = query
         else:
             plan = CostBasedPlanner(self.backend, self.budget).plan(query)
+        if getattr(plan, "is_sharded_plan", False):
+            raise ConfigurationError(
+                "the query scans sharded collections; run it through "
+                "repro.shard.ShardedQueryExecutor (or execute_sharded_query) "
+                "instead of the single-device QueryExecutor"
+            )
         if self.materialize_result:
             plan.materialize_root()
         device = self.backend.device

@@ -52,11 +52,22 @@ class LogicalNode:
 
 @dataclass(frozen=True)
 class Scan(LogicalNode):
-    """Leaf node: read one persistent collection."""
+    """Leaf node: read one (persistent or sharded) collection.
+
+    ``est_records`` overrides the planner's cardinality estimate for this
+    scan.  The sharded planner uses it for exchange destinations, which
+    are empty at plan time but will hold roughly ``1/N`` of the exchanged
+    records when the fragment reading them runs.
+    """
 
     collection: PersistentCollection
+    est_records: Optional[float] = None
 
     kind = "Scan"
+
+    def __post_init__(self) -> None:
+        if self.est_records is not None and self.est_records < 0:
+            raise ConfigurationError("est_records must be non-negative")
 
     def output_schema(self) -> Schema:
         return self.collection.schema
@@ -307,14 +318,16 @@ class Query:
 
 
 def _as_node(source) -> LogicalNode:
-    """Coerce a Query, node, or collection into a logical node."""
+    """Coerce a Query, node, or (sharded) collection into a logical node."""
     if isinstance(source, Query):
         return source.node
     if isinstance(source, LogicalNode):
         return source
-    if isinstance(source, PersistentCollection):
+    if isinstance(source, PersistentCollection) or getattr(
+        source, "is_sharded", False
+    ):
         return Scan(source)
     raise ConfigurationError(
         f"cannot use {type(source).__name__} as a query input; expected a "
-        "Query, logical node, or PersistentCollection"
+        "Query, logical node, PersistentCollection, or ShardedCollection"
     )

@@ -174,6 +174,20 @@ class PhysicalPlan:
         self._render(self.root, "", True, lines, read_ns, lam, executions)
         return "\n".join(lines)
 
+    def explain_lines(
+        self, executions: dict | None = None, prefix: str = ""
+    ) -> list[str]:
+        """The headerless per-node rendering, one line per node.
+
+        Used by the sharded plan rendering to embed each shard's fragment
+        tree under its own indentation.
+        """
+        read_ns = self.backend.device.latency.read_ns
+        lam = self.backend.device.write_read_ratio
+        lines: list[str] = []
+        self._render(self.root, prefix, True, lines, read_ns, lam, executions)
+        return lines
+
     def _render(self, node, prefix, is_root, lines, read_ns, lam, executions):
         est_weighted = node.est_cost_ns / read_ns
         text = (
@@ -184,9 +198,7 @@ class PhysicalPlan:
         )
         execution = (executions or {}).get(id(node))
         if execution is not None:
-            actual_weighted = (
-                execution.io.cacheline_reads + lam * execution.io.cacheline_writes
-            )
+            actual_weighted = execution.io.weighted_cachelines(lam)
             text += (
                 f" | actual {execution.records} rec, {actual_weighted:.0f} wcl"
                 f" ({execution.io.cacheline_reads:.0f}r/"
@@ -224,14 +236,26 @@ class CostBasedPlanner:
         self.lam = device.write_read_ratio
         self._bytes_to_buffers = device.geometry.bytes_to_cachelines
 
-    def plan(self, query) -> PhysicalPlan:
-        """Plan a :class:`~repro.query.logical.Query` (or bare node)."""
+    def plan(self, query):
+        """Plan a :class:`~repro.query.logical.Query` (or bare node).
+
+        Queries over :class:`~repro.shard.collection.ShardedCollection`
+        inputs are delegated to the sharded planner and come back as a
+        :class:`~repro.shard.planner.ShardedPhysicalPlan` -- per-shard
+        fragments plus exchanges -- instead of a single-device plan.
+        """
         node = query.node if isinstance(query, Query) else query
         if not isinstance(node, LogicalNode):
             raise ConfigurationError(
                 f"cannot plan a {type(query).__name__}; expected a Query or "
                 "logical node"
             )
+        # Imported lazily: repro.shard builds on this module.
+        from repro.shard.planner import ShardedPlanner, find_sharded_collections
+
+        sharded = find_sharded_collections(node)
+        if sharded:
+            return ShardedPlanner(sharded[0].shard_set, self.budget).plan(node)
         root = self._plan_node(node)
         # The root stays in DRAM: the paper factors the final-output write
         # out of its comparisons.  The executor re-adds it on request.
@@ -258,12 +282,19 @@ class CostBasedPlanner:
 
     def _plan_scan(self, node: Scan) -> PlannedNode:
         # Reads are charged to the consuming operator, so a scan itself is
-        # free; its collection is already materialized.
+        # free; its collection is already materialized.  ``est_records``
+        # overrides the actual cardinality for collections that are still
+        # empty at plan time (exchange destinations).
+        est_records = (
+            node.est_records
+            if node.est_records is not None
+            else float(len(node.collection))
+        )
         return PlannedNode(
             logical=node,
             operator="Scan",
             schema=node.output_schema(),
-            est_records=float(len(node.collection)),
+            est_records=est_records,
             est_cost_ns=0.0,
         )
 

@@ -1,0 +1,329 @@
+"""Concurrent execution of sharded physical plans.
+
+The executor walks the plan's steps in order and runs each step with one
+worker thread per shard:
+
+* a :class:`~repro.shard.planner.FragmentStep` executes its per-shard
+  physical plans through ordinary single-device
+  :class:`~repro.query.executor.QueryExecutor` instances, each under that
+  shard's child share of the parent bufferpool;
+* an :class:`~repro.shard.planner.ExchangeStep` runs in two barrier
+  phases -- every source shard scans its input and buckets records by
+  destination (charging reads on the source device when the input is
+  materialized), then every destination shard bulk-appends its bucket
+  (charging writes on the destination device).
+
+Thread-safety falls out of the step structure: within any phase each
+worker touches exactly one shard's device, so the per-device counters
+are single-threaded, and the DRAM accounting that *is* shared -- the
+parent bufferpool -- takes an internal lock.
+
+The result merges the per-shard outputs (an ordered merge for a root
+OrderBy, concatenation otherwise) into one in-DRAM collection, sums the
+per-shard :class:`~repro.pmem.metrics.IOSnapshot` deltas, and reports the
+critical path: per step, the slowest shard's simulated time, summed over
+steps -- the makespan of the parallel execution.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.exceptions import ConfigurationError
+from repro.pmem.metrics import IOSnapshot, critical_path_ns, sum_snapshots
+from repro.query.executor import QueryExecutor, QueryResult
+from repro.shard.collection import ShardSet
+from repro.shard.planner import (
+    ExchangeStep,
+    FragmentStep,
+    ShardedPhysicalPlan,
+    ShardedPlanner,
+)
+from repro.storage.bufferpool import Bufferpool, MemoryBudget
+from repro.storage.collection import CollectionStatus, PersistentCollection
+
+_result_counter = itertools.count()
+
+
+@dataclass
+class ShardedQueryResult:
+    """Outcome of one sharded query execution."""
+
+    plan: ShardedPhysicalPlan
+    #: Merged final output (in DRAM, like the single-device root).
+    output: PersistentCollection
+    #: Summed device I/O across every shard.
+    io: IOSnapshot
+    #: Per-shard I/O over the whole execution, in shard order.
+    per_shard_io: list[IOSnapshot]
+    #: Simulated makespan: per step, the slowest shard, summed over steps.
+    critical_path_ns: float
+    #: Critical-path cacheline traffic (reads + writes of the slowest
+    #: shard per step, summed over steps).
+    critical_path_cachelines: float
+    #: Per-step, per-shard I/O deltas keyed by step index.
+    step_io: dict = field(default_factory=dict)
+    #: Per-fragment-step, per-shard node-execution maps (for explain()).
+    fragment_executions: dict = field(default_factory=dict)
+    #: Records moved per exchange step, keyed by step index.
+    exchange_records: dict = field(default_factory=dict)
+
+    @property
+    def records(self) -> list[tuple]:
+        return self.output.records
+
+    @property
+    def simulated_seconds(self) -> float:
+        """Parallel wall-clock on the simulated devices (the makespan)."""
+        return self.critical_path_ns / 1e9
+
+    @property
+    def summed_seconds(self) -> float:
+        """Total device-time across all shards (the resource cost)."""
+        return self.io.total_ns / 1e9
+
+    def explain(self) -> str:
+        """The sharded plan rendering with per-shard estimated vs. actual I/O."""
+        return self.plan.explain(self)
+
+
+class ShardedQueryExecutor:
+    """Runs sharded plans concurrently over a shard set.
+
+    Args:
+        shard_set: the devices/backends the plan's collections live on.
+        budget: parent DRAM budget shared by all concurrent fragments.
+        bufferpool: parent pool the per-shard child shares are carved
+            from; a fresh pool over ``budget`` when omitted.  Shares are
+            reserved up front, so concurrent fragments can never jointly
+            exceed the parent budget.
+        max_workers: thread-pool width; defaults to one worker per shard.
+    """
+
+    def __init__(
+        self,
+        shard_set: ShardSet,
+        budget: MemoryBudget,
+        bufferpool: Bufferpool | None = None,
+        max_workers: int | None = None,
+    ) -> None:
+        if max_workers is not None and max_workers <= 0:
+            raise ConfigurationError("max_workers must be positive")
+        self.shard_set = shard_set
+        self.budget = budget
+        self.bufferpool = bufferpool if bufferpool is not None else Bufferpool(budget)
+        self.max_workers = max_workers
+
+    def execute(self, query) -> ShardedQueryResult:
+        """Plan (when needed) and run a sharded query."""
+        if isinstance(query, ShardedPhysicalPlan):
+            plan = query
+            if plan.shard_set is not self.shard_set:
+                raise ConfigurationError(
+                    "the plan was built for a different shard set than this "
+                    "executor's; its fragments and I/O accounting would land "
+                    "on the wrong devices"
+                )
+        else:
+            plan = ShardedPlanner(self.shard_set, self.budget).plan(query)
+        num_shards = plan.num_shards
+        workers = min(self.max_workers or num_shards, num_shards)
+        shares: list[Bufferpool] = []
+        try:
+            for index in range(num_shards):
+                shares.append(
+                    self.bufferpool.share(
+                        nbytes=plan.shard_budget.nbytes, owner=f"shard{index}"
+                    )
+                )
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                return self._run(plan, shares, pool)
+        finally:
+            for share in shares:
+                share.close()
+
+    # ------------------------------------------------------------------ #
+    # Step execution.
+    # ------------------------------------------------------------------ #
+    def _run(self, plan, shares, pool) -> ShardedQueryResult:
+        before = self.shard_set.snapshot()
+        fragment_outputs: dict[int, list[PersistentCollection]] = {}
+        fragment_executions: dict[int, list[dict]] = {}
+        exchange_records: dict[int, int] = {}
+        step_io: dict[int, list[IOSnapshot]] = {}
+        critical_ns = 0.0
+        critical_cachelines = 0.0
+        for step in plan.steps:
+            step_before = self.shard_set.snapshot()
+            if isinstance(step, FragmentStep):
+                results = self._run_fragments(step, plan, shares, pool)
+                fragment_outputs[step.index] = [r.output for r in results]
+                fragment_executions[step.index] = [r.executions for r in results]
+                deltas = [
+                    after - prior
+                    for after, prior in zip(self.shard_set.snapshot(), step_before)
+                ]
+                critical_ns += critical_path_ns(deltas)
+                critical_cachelines += max(
+                    delta.total_cachelines for delta in deltas
+                )
+            elif isinstance(step, ExchangeStep):
+                moved, phase_ns, phase_cachelines = self._run_exchange(
+                    step, fragment_outputs, pool
+                )
+                exchange_records[step.index] = moved
+                deltas = [
+                    after - prior
+                    for after, prior in zip(self.shard_set.snapshot(), step_before)
+                ]
+                critical_ns += phase_ns
+                critical_cachelines += phase_cachelines
+            else:  # pragma: no cover - the planner only emits the two kinds
+                raise ConfigurationError(f"unknown plan step {type(step).__name__}")
+            step_io[step.index] = deltas
+        per_shard_io = [
+            after - prior for after, prior in zip(self.shard_set.snapshot(), before)
+        ]
+        self._release_exchange_stores(plan)
+        output = self._merge(plan, fragment_outputs[plan.final_step_index])
+        return ShardedQueryResult(
+            plan=plan,
+            output=output,
+            io=sum_snapshots(per_shard_io),
+            per_shard_io=per_shard_io,
+            critical_path_ns=critical_ns,
+            critical_path_cachelines=critical_cachelines,
+            step_io=step_io,
+            fragment_executions=fragment_executions,
+            exchange_records=exchange_records,
+        )
+
+    def _run_fragments(
+        self, step: FragmentStep, plan, shares, pool
+    ) -> list[QueryResult]:
+        def run_fragment(index: int) -> QueryResult:
+            executor = QueryExecutor(
+                self.shard_set.backends[index],
+                plan.shard_budget,
+                bufferpool=shares[index],
+            )
+            return executor.execute(step.fragments[index])
+
+        return list(pool.map(run_fragment, range(len(step.fragments))))
+
+    def _run_exchange(
+        self, step: ExchangeStep, fragment_outputs, pool
+    ) -> tuple[int, float, float]:
+        """Run the two exchange phases; returns (records moved, critical
+        ns, critical cachelines).
+
+        The phases are barriers -- every destination waits for the slowest
+        reader before writing -- so the step's critical path is the
+        slowest read *plus* the slowest write, matching
+        :attr:`ExchangeStep.est_critical_ns`, not the maximum of one
+        device's combined delta.
+        """
+        if step.sources is not None:
+            sources = step.sources
+        else:
+            sources = fragment_outputs[step.source_fragment]
+        num_shards = len(step.dests)
+        shard_of = step.partitioner.shard_of
+        before = self.shard_set.snapshot()
+
+        # Phase 1 (parallel per source shard): scan and bucket.  Reads are
+        # charged on the source device iff the source is materialized.
+        def read_and_bucket(source) -> list[list[tuple]]:
+            buckets: list[list[tuple]] = [[] for _ in range(num_shards)]
+            for block in source.scan_blocks():
+                for record in block:
+                    buckets[shard_of(record)].append(record)
+            return buckets
+
+        all_buckets = list(pool.map(read_and_bucket, sources))
+        mid = self.shard_set.snapshot()
+
+        # Phase 2 (parallel per destination shard): bulk-append the
+        # destination's share from every source, charging its own device.
+        def write_destination(dest_index: int) -> int:
+            dest = step.dests[dest_index]
+            dest.clear()
+            # Destinations are planned in the MEMORY state; (re)attach the
+            # backend store now so the writes charge this shard's device.
+            dest.backend.ensure_store(dest.name)
+            dest.mark_materialized()
+            moved = 0
+            for buckets in all_buckets:
+                bucket = buckets[dest_index]
+                dest.extend(bucket)
+                moved += len(bucket)
+            dest.seal()
+            return moved
+
+        moved = sum(pool.map(write_destination, range(num_shards)))
+        after = self.shard_set.snapshot()
+        reads = [m - b for m, b in zip(mid, before)]
+        writes = [a - m for a, m in zip(after, mid)]
+        phase_ns = critical_path_ns(reads) + critical_path_ns(writes)
+        phase_cachelines = max(
+            delta.total_cachelines for delta in reads
+        ) + max(delta.total_cachelines for delta in writes)
+        return moved, phase_ns, phase_cachelines
+
+    @staticmethod
+    def _release_exchange_stores(plan) -> None:
+        """Return the exchange destinations' device allocation.
+
+        The repartitioned intermediates have been consumed by their
+        fragments; dropping the backend stores (releasing capacity, no
+        I/O charge) keeps a long-lived shard set from accumulating
+        allocation across queries.  The collection objects keep their
+        records for inspection, and a re-execution of the same plan
+        re-materializes the stores in the write phase.
+        """
+        for step in plan.steps:
+            if not isinstance(step, ExchangeStep):
+                continue
+            for dest in step.dests:
+                if dest.backend.has_store(dest.name):
+                    dest.backend.drop_store(dest.name)
+
+    # ------------------------------------------------------------------ #
+    # Result merge.
+    # ------------------------------------------------------------------ #
+    def _merge(self, plan, outputs: list[PersistentCollection]):
+        merged = PersistentCollection(
+            name=f"sharded-result-{next(_result_counter)}",
+            schema=plan.root_schema,
+            status=CollectionStatus.MEMORY,
+        )
+        merge_kind, merge_key = plan.merge
+        if merge_kind == "ordered":
+            merged.extend(
+                heapq.merge(
+                    *(output.records for output in outputs),
+                    key=lambda record: record[merge_key],
+                )
+            )
+        else:
+            for output in outputs:
+                merged.extend(output.records)
+        merged.seal()
+        return merged
+
+
+def execute_sharded_query(
+    query,
+    shard_set: ShardSet,
+    budget: MemoryBudget,
+    bufferpool: Bufferpool | None = None,
+    max_workers: int | None = None,
+) -> ShardedQueryResult:
+    """Plan and execute a sharded ``query`` in one call."""
+    executor = ShardedQueryExecutor(
+        shard_set, budget, bufferpool=bufferpool, max_workers=max_workers
+    )
+    return executor.execute(query)

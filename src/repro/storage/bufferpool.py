@@ -9,6 +9,7 @@ and a reservation beyond the budget raises.
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass
 
@@ -151,15 +152,33 @@ class Bufferpool:
     workspaces from the budget, but every workspace is registered here so
     that a mis-sized algorithm fails loudly instead of silently using more
     DRAM than the experiment intended.
+
+    Pools are thread-safe (sharded plan fragments reserve and release
+    concurrently) and can be carved into child *shares* via
+    :meth:`share`: a child pool's full budget is reserved in its parent up
+    front, so concurrent consumers of sibling shares can never jointly
+    exceed the parent budget -- over-partitioning fails at ``share()``
+    time with :class:`BufferpoolExhaustedError` instead of silently
+    over-provisioning DRAM.
     """
 
-    def __init__(self, budget: MemoryBudget) -> None:
+    def __init__(
+        self,
+        budget: MemoryBudget,
+        parent: "Bufferpool | None" = None,
+        owner: str | None = None,
+    ) -> None:
         self.budget = budget
+        self.parent = parent
+        self.owner = owner
         self._reserved: dict[str, int] = {}
+        self._lock = threading.Lock()
+        self._closed = False
 
     @property
     def reserved_bytes(self) -> int:
-        return sum(self._reserved.values())
+        with self._lock:
+            return sum(self._reserved.values())
 
     @property
     def available_bytes(self) -> int:
@@ -169,12 +188,18 @@ class Bufferpool:
         """Reserve ``nbytes`` for ``owner``; raises when over budget."""
         if nbytes < 0:
             raise ConfigurationError("reservation must be non-negative")
-        if nbytes > self.available_bytes:
-            raise BufferpoolExhaustedError(
-                f"{owner!r} requested {nbytes} bytes but only "
-                f"{self.available_bytes} of {self.budget.nbytes} are available"
-            )
-        self._reserved[owner] = self._reserved.get(owner, 0) + nbytes
+        with self._lock:
+            if self._closed:
+                raise ConfigurationError(
+                    f"bufferpool share {self.owner!r} is closed"
+                )
+            available = self.budget.nbytes - sum(self._reserved.values())
+            if nbytes > available:
+                raise BufferpoolExhaustedError(
+                    f"{owner!r} requested {nbytes} bytes but only "
+                    f"{available} of {self.budget.nbytes} are available"
+                )
+            self._reserved[owner] = self._reserved.get(owner, 0) + nbytes
 
     def release(self, owner: str, nbytes: int | None = None) -> None:
         """Release ``nbytes`` held by ``owner`` (everything when omitted).
@@ -183,22 +208,85 @@ class Bufferpool:
         reservations under the same owner stay balanced: releasing an inner
         workspace must not drop the bytes of an outer one.
         """
-        held = self._reserved.get(owner)
-        if held is None:
-            return
-        if nbytes is None:
-            nbytes = held
-        if nbytes < 0:
-            raise ConfigurationError("release must be non-negative")
-        if nbytes > held:
+        with self._lock:
+            held = self._reserved.get(owner)
+            if held is None:
+                return
+            if nbytes is None:
+                nbytes = held
+            if nbytes < 0:
+                raise ConfigurationError("release must be non-negative")
+            if nbytes > held:
+                raise ConfigurationError(
+                    f"{owner!r} released {nbytes} bytes but holds only {held}"
+                )
+            remaining = held - nbytes
+            if remaining:
+                self._reserved[owner] = remaining
+            else:
+                del self._reserved[owner]
+
+    # ------------------------------------------------------------------ #
+    # Parent/child shares.
+    # ------------------------------------------------------------------ #
+    def share(
+        self,
+        fraction: float | None = None,
+        nbytes: int | None = None,
+        owner: str = "share",
+    ) -> "Bufferpool":
+        """Carve a child pool out of this one, reserving its budget here.
+
+        Exactly one of ``fraction`` (of this pool's budget) or ``nbytes``
+        sizes the share.  The child's whole budget is reserved in the
+        parent immediately, so the sum of live shares can never exceed the
+        parent budget; a share that would raises
+        :class:`BufferpoolExhaustedError`.  Call :meth:`close` on the
+        child (or use it as a context manager) to return the bytes.
+        """
+        if (fraction is None) == (nbytes is None):
             raise ConfigurationError(
-                f"{owner!r} released {nbytes} bytes but holds only {held}"
+                "size a share with exactly one of fraction= or nbytes="
             )
-        remaining = held - nbytes
-        if remaining:
-            self._reserved[owner] = remaining
-        else:
-            del self._reserved[owner]
+        if fraction is not None:
+            if not 0 < fraction <= 1:
+                raise ConfigurationError("share fraction must be in (0, 1]")
+            nbytes = max(1, int(self.budget.nbytes * fraction))
+        if nbytes <= 0:
+            raise ConfigurationError("share size must be positive")
+        self.reserve(nbytes, owner)
+        child_budget = MemoryBudget(
+            nbytes,
+            cacheline_bytes=self.budget.cacheline_bytes,
+            block_bytes=self.budget.block_bytes,
+        )
+        return Bufferpool(child_budget, parent=self, owner=owner)
+
+    def close(self) -> None:
+        """Release a share's budget back to its parent (idempotent).
+
+        Closing with outstanding reservations raises: a fragment that
+        leaks workspace must fail loudly, not silently return DRAM that
+        an operator still believes it holds.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            if self._reserved:
+                holders = ", ".join(sorted(self._reserved))
+                raise ConfigurationError(
+                    f"cannot close share {self.owner!r}: outstanding "
+                    f"reservations by {holders}"
+                )
+            self._closed = True
+        if self.parent is not None:
+            self.parent.release(self.owner, self.budget.nbytes)
+
+    def __enter__(self) -> "Bufferpool":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
 
     @contextmanager
     def workspace(self, nbytes: int, owner: str):

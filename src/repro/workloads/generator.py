@@ -62,6 +62,77 @@ def make_sort_input(
     return load_collection(records, backend, name, schema)
 
 
+def make_sharded_sort_input(
+    num_records: int,
+    shard_set,
+    partitioner=None,
+    schema: Schema = WISCONSIN_SCHEMA,
+    name: str = "T",
+    seed: int = 1,
+):
+    """The sort microbenchmark input, partitioned across a shard set.
+
+    Record-identical to :func:`make_sort_input` -- the same Wisconsin
+    permutation is generated and routed shard-by-shard -- so sharded runs
+    are directly comparable to single-device ones.
+    """
+    from repro.shard.collection import ShardedCollection
+
+    if num_records < 0:
+        raise ConfigurationError("number of records must be non-negative")
+    collection = ShardedCollection(
+        name, shard_set, partitioner=partitioner, schema=schema
+    )
+    if num_records:
+        collection.extend(
+            schema.make_record(key)
+            for key in wisconsin_permutation(num_records, seed=seed)
+        )
+    collection.seal()
+    return collection
+
+
+def make_sharded_join_inputs(
+    left_records: int,
+    right_records: int,
+    shard_set,
+    left_partitioner=None,
+    right_partitioner=None,
+    schema: Schema = WISCONSIN_SCHEMA,
+    left_name: str = "T",
+    right_name: str = "V",
+    seed: int = 1,
+):
+    """The join microbenchmark inputs, partitioned across a shard set.
+
+    Record-identical to :func:`make_join_inputs`.  With the default
+    partitioners both sides hash on the join key, so every join match is
+    shard-local; passing a ``right_partitioner`` on another attribute
+    forces the sharded planner to insert a repartition exchange.
+    """
+    from repro.shard.collection import ShardedCollection
+
+    if left_records <= 0 or right_records <= 0:
+        raise ConfigurationError("join inputs must be non-empty")
+    left = ShardedCollection(
+        left_name, shard_set, partitioner=left_partitioner, schema=schema
+    )
+    left.extend(
+        schema.make_record(key)
+        for key in wisconsin_permutation(left_records, seed=seed)
+    )
+    left.seal()
+    right = ShardedCollection(
+        right_name, shard_set, partitioner=right_partitioner, schema=schema
+    )
+    right.extend(
+        schema.make_record(key % left_records)
+        for key in wisconsin_permutation(right_records, seed=seed + 1)
+    )
+    right.seal()
+    return left, right
+
+
 def make_join_inputs(
     left_records: int,
     right_records: int,

@@ -86,3 +86,54 @@ class TestExecution:
         assert main(["table", "1", "--output", str(target)]) == 0
         assert "Table 1" in target.read_text()
         assert capsys.readouterr().out == ""
+
+
+class TestQueryCommand:
+    def test_query_parser_defaults(self):
+        args = build_parser().parse_args(["query", "join"])
+        assert args.name == "join"
+        assert args.shards == 1
+        assert args.fraction == 0.08
+
+    def test_single_device_query_runs(self, capsys):
+        assert main(["query", "sort", "--records", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "physical plan" in out
+        assert "output records" in out
+
+    def test_sharded_query_runs(self, capsys):
+        assert (
+            main(
+                [
+                    "query",
+                    "join",
+                    "--shards",
+                    "3",
+                    "--left",
+                    "150",
+                    "--right",
+                    "1500",
+                    "--fraction",
+                    "0.15",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "sharded physical plan (shards=3" in out
+        assert "critical path" in out
+        assert "output records    : 1500" in out
+
+    def test_sharded_aggregate_runs(self, capsys):
+        assert main(["query", "aggregate", "--shards", "2", "--records", "400"]) == 0
+        out = capsys.readouterr().out
+        assert "sharded physical plan (shards=2" in out
+        assert "exchange on hash(attr 1)" in out
+
+    def test_sharded_materialize_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["query", "join", "--shards", "2", "--materialize"])
+
+    def test_invalid_shard_count_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["query", "join", "--shards", "0"])

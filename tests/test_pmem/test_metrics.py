@@ -165,3 +165,53 @@ class TestIOSnapshot:
     def test_as_dict_includes_breakdown(self):
         snapshot = IOSnapshot(overhead_breakdown={"syscall": 10.0})
         assert snapshot.as_dict()["overhead_breakdown"] == {"syscall": 10.0}
+
+
+class TestShardedAggregationHelpers:
+    def test_weighted_cachelines(self):
+        snapshot = IOSnapshot(cacheline_reads=100.0, cacheline_writes=10.0)
+        assert snapshot.weighted_cachelines(15.0) == 250.0
+        assert snapshot.weighted_cachelines(1.0) == 110.0
+
+    def test_sum_snapshots(self):
+        from repro.pmem.metrics import sum_snapshots
+
+        parts = [
+            IOSnapshot(
+                cacheline_reads=10.0,
+                cacheline_writes=2.0,
+                bytes_read=640,
+                bytes_written=128,
+                transfer_ns=400.0,
+                overhead_breakdown={"syscall": 5.0},
+            ),
+            IOSnapshot(
+                cacheline_reads=1.0,
+                bytes_read=64,
+                transfer_ns=10.0,
+                overhead_breakdown={"syscall": 2.0, "copy": 1.0},
+            ),
+        ]
+        total = sum_snapshots(parts)
+        assert total.cacheline_reads == 11.0
+        assert total.cacheline_writes == 2.0
+        assert total.bytes_read == 704
+        assert total.bytes_written == 128
+        assert total.transfer_ns == 410.0
+        assert total.overhead_breakdown == {"syscall": 7.0, "copy": 1.0}
+
+    def test_sum_snapshots_empty(self):
+        from repro.pmem.metrics import sum_snapshots
+
+        assert sum_snapshots([]) == IOSnapshot()
+
+    def test_critical_path_ns_is_the_slowest_device(self):
+        from repro.pmem.metrics import critical_path_ns
+
+        snapshots = [
+            IOSnapshot(transfer_ns=100.0, overhead_ns=50.0),
+            IOSnapshot(transfer_ns=120.0),
+            IOSnapshot(),
+        ]
+        assert critical_path_ns(snapshots) == 150.0
+        assert critical_path_ns([]) == 0.0

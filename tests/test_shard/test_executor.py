@@ -1,0 +1,228 @@
+"""Executor-level behavior: concurrency, shares, step accounting."""
+
+import pytest
+
+from repro.exceptions import BufferpoolExhaustedError
+from repro.query import Query
+from repro.shard import (
+    HashPartitioner,
+    ShardSet,
+    ShardedCollection,
+    ShardedPlanner,
+    ShardedQueryExecutor,
+)
+from repro.shard.planner import ExchangeStep
+from repro.storage.bufferpool import Bufferpool, MemoryBudget
+from repro.storage.schema import WISCONSIN_SCHEMA
+
+
+def build_sharded(shard_set, name, keys, partitioner=None):
+    collection = ShardedCollection(name, shard_set, partitioner=partitioner)
+    collection.extend(WISCONSIN_SCHEMA.make_record(key) for key in keys)
+    collection.seal()
+    return collection
+
+
+def repartitioned_join(shard_set):
+    left = build_sharded(shard_set, "L", list(range(60)))
+    right = build_sharded(
+        shard_set,
+        "R",
+        [key % 60 for key in range(360)],
+        partitioner=HashPartitioner(shard_set.num_shards, key_index=1),
+    )
+    return Query.scan(left).join(Query.scan(right))
+
+
+def test_same_plan_executes_twice_identically():
+    shard_set = ShardSet.create(3)
+    query = repartitioned_join(shard_set)
+    budget = MemoryBudget.from_records(45)
+    plan = ShardedPlanner(shard_set, budget).plan(query)
+    executor = ShardedQueryExecutor(shard_set, budget)
+    first = executor.execute(plan)
+    second = executor.execute(plan)
+    assert sorted(first.records) == sorted(second.records)
+    assert first.io.cacheline_reads == second.io.cacheline_reads
+    assert first.io.cacheline_writes == second.io.cacheline_writes
+    assert first.critical_path_ns == second.critical_path_ns
+
+
+def test_worker_count_does_not_change_accounting():
+    budget = MemoryBudget.from_records(45)
+    results = []
+    for max_workers in (1, 2, None):
+        shard_set = ShardSet.create(3)
+        query = repartitioned_join(shard_set)
+        executor = ShardedQueryExecutor(
+            shard_set, budget, max_workers=max_workers
+        )
+        results.append(executor.execute(query))
+    baseline = results[0]
+    for result in results[1:]:
+        assert sorted(result.records) == sorted(baseline.records)
+        assert result.io == baseline.io
+        assert result.critical_path_ns == baseline.critical_path_ns
+
+
+def test_parent_pool_too_small_for_shares_raises():
+    shard_set = ShardSet.create(4)
+    query = repartitioned_join(shard_set)
+    budget = MemoryBudget.from_records(60)
+    # An external pool with most of the budget already taken: the four
+    # 1/4 shares cannot all be carved out.
+    pool = Bufferpool(budget)
+    pool.reserve(budget.nbytes // 2, owner="someone-else")
+    executor = ShardedQueryExecutor(shard_set, budget, bufferpool=pool)
+    with pytest.raises(BufferpoolExhaustedError):
+        executor.execute(query)
+
+
+def test_exchange_moves_every_record_exactly_once():
+    shard_set = ShardSet.create(4)
+    query = repartitioned_join(shard_set)
+    budget = MemoryBudget.from_records(60)
+    result = ShardedQueryExecutor(shard_set, budget).execute(query)
+    exchange_steps = [
+        step for step in result.plan.steps if isinstance(step, ExchangeStep)
+    ]
+    assert len(exchange_steps) == 1
+    step = exchange_steps[0]
+    assert result.exchange_records[step.index] == 360
+    assert sum(len(dest.records) for dest in step.dests) == 360
+    # Every destination shard holds exactly the records its partitioner
+    # routes to it.
+    for index, dest in enumerate(step.dests):
+        assert all(
+            step.partitioner.shard_of(record) == index for record in dest.records
+        )
+
+
+def test_explain_reports_exchange_actuals():
+    shard_set = ShardSet.create(2)
+    query = repartitioned_join(shard_set)
+    budget = MemoryBudget.from_records(30)
+    result = ShardedQueryExecutor(shard_set, budget).execute(query)
+    rendered = result.explain()
+    assert "exchange on hash(attr 0)" in rendered
+    assert "right input not partitioned on its join key" in rendered
+    assert "rec moved" in rendered
+    assert "critical path: est" in rendered
+    assert "actual" in rendered
+
+
+def test_step_io_covers_all_devices_per_step():
+    shard_set = ShardSet.create(3)
+    query = repartitioned_join(shard_set)
+    budget = MemoryBudget.from_records(45)
+    result = ShardedQueryExecutor(shard_set, budget).execute(query)
+    assert set(result.step_io) == {step.index for step in result.plan.steps}
+    for deltas in result.step_io.values():
+        assert len(deltas) == 3
+    # Per-shard totals decompose exactly into the per-step deltas.
+    for shard in range(3):
+        total = result.step_io[0][shard]
+        for index in sorted(result.step_io)[1:]:
+            total = total + result.step_io[index][shard]
+        assert total.cacheline_reads == result.per_shard_io[shard].cacheline_reads
+        assert total.cacheline_writes == result.per_shard_io[shard].cacheline_writes
+
+
+def test_failed_share_carving_releases_partial_shares():
+    shard_set = ShardSet.create(4)
+    query = repartitioned_join(shard_set)
+    budget = MemoryBudget.from_records(60)
+    pool = Bufferpool(budget)
+    pool.reserve(budget.nbytes // 2, owner="someone-else")
+    executor = ShardedQueryExecutor(shard_set, budget, bufferpool=pool)
+    with pytest.raises(BufferpoolExhaustedError):
+        executor.execute(query)
+    # Only the external reservation remains: the shares carved before the
+    # failure were all returned.
+    assert pool.reserved_bytes == budget.nbytes // 2
+
+
+def test_plan_from_other_shard_set_rejected():
+    from repro.exceptions import ConfigurationError
+
+    set_a = ShardSet.create(2)
+    set_b = ShardSet.create(2)
+    query = repartitioned_join(set_a)
+    budget = MemoryBudget.from_records(30)
+    plan = ShardedPlanner(set_a, budget).plan(query)
+    executor = ShardedQueryExecutor(set_b, budget)
+    with pytest.raises(ConfigurationError, match="different shard set"):
+        executor.execute(plan)
+
+
+def test_exchange_critical_path_is_phase_aware():
+    """The exchange's read and write phases are barriers: the critical
+    path is slowest-read + slowest-write, not the busiest single device.
+    """
+    # The probe input sits entirely on shard 0 but must be joined against
+    # a build side living entirely on shard 1: the exchange reads on
+    # shard 0 and writes on shard 1, so no single device sees both
+    # phases' worth of work.
+    shard_set = ShardSet.create(2)
+    to_zero = lambda key: 0  # noqa: E731
+    to_one = lambda key: 1  # noqa: E731
+    left = build_sharded(
+        shard_set, "L", list(range(40)), HashPartitioner(2, hash_fn=to_one)
+    )
+    right = build_sharded(
+        shard_set,
+        "R",
+        [key % 40 for key in range(240)],
+        partitioner=HashPartitioner(2, key_index=1, hash_fn=to_zero),
+    )
+    budget = MemoryBudget.from_records(30)
+    result = ShardedQueryExecutor(shard_set, budget).execute(
+        Query.scan(left).join(Query.scan(right))
+    )
+    step = next(
+        s for s in result.plan.steps if isinstance(s, ExchangeStep)
+    )
+    deltas = result.step_io[step.index]
+    # Phase-aware critical path must exceed the busiest combined device:
+    # the write barrier cannot overlap shard 0's reads.
+    busiest_combined = max(delta.total_ns for delta in deltas)
+    exchange_critical = result.critical_path_ns - sum(
+        max(io.total_ns for io in result.step_io[s.index])
+        for s in result.plan.steps
+        if not isinstance(s, ExchangeStep)
+    )
+    assert exchange_critical > busiest_combined
+
+
+def test_planning_leaves_devices_untouched():
+    shard_set = ShardSet.create(2)
+    query = repartitioned_join(shard_set)
+    allocated_before = [d.allocated_bytes for d in shard_set.devices]
+    stores_before = [set(b.stores()) for b in shard_set.backends]
+    ShardedPlanner(shard_set, MemoryBudget.from_records(30)).plan(query)
+    assert [d.allocated_bytes for d in shard_set.devices] == allocated_before
+    assert [set(b.stores()) for b in shard_set.backends] == stores_before
+
+
+def test_exchange_stores_released_after_execution():
+    shard_set = ShardSet.create(2)
+    budget = MemoryBudget.from_records(30)
+    allocated_after_load = None
+    for _ in range(3):
+        query = repartitioned_join(shard_set)
+        if allocated_after_load is None:
+            allocated_after_load = [d.allocated_bytes for d in shard_set.devices]
+        result = ShardedQueryExecutor(shard_set, budget).execute(query)
+        assert len(result.records) == 360
+    # Three queries later, only the loaded base relations still hold
+    # device allocation: exchange intermediates were all released.
+    grown = [
+        d.allocated_bytes - base
+        for d, base in zip(shard_set.devices, allocated_after_load)
+    ]
+    base_load = sum(allocated_after_load)
+    # Each loop iteration loads fresh L/R collections (2x the first load);
+    # nothing beyond those loads may remain allocated.
+    assert sum(d.allocated_bytes for d in shard_set.devices) <= 3 * base_load
+    for backend in shard_set.backends:
+        assert not any("exchange" in store for store in backend.stores())

@@ -166,3 +166,105 @@ class TestBufferpool:
         with pool.workspace(1_000, owner="sort"):
             assert pool.reserved_bytes == 5_000
         assert pool.reserved_bytes == 4_000
+
+
+class TestBufferpoolShares:
+    """Parent/child accounting for concurrent shard shares."""
+
+    def test_share_reserves_in_parent(self):
+        parent = Bufferpool(MemoryBudget.from_bytes(1_000))
+        child = parent.share(fraction=0.25, owner="shard0")
+        assert child.budget.nbytes == 250
+        assert parent.reserved_bytes == 250
+        child.close()
+        assert parent.reserved_bytes == 0
+
+    def test_shares_cannot_jointly_exceed_parent_budget(self):
+        # The satellite regression: N concurrent fragments each took a
+        # "fraction of the budget" without anyone accounting for the sum,
+        # so shares could jointly over-reserve DRAM.  Carving shares out
+        # of the parent makes the over-reservation fail up front.
+        parent = Bufferpool(MemoryBudget.from_bytes(1_000))
+        parent.share(fraction=0.6, owner="shard0")
+        with pytest.raises(BufferpoolExhaustedError):
+            parent.share(fraction=0.6, owner="shard1")
+
+    def test_even_shares_fill_the_parent_exactly(self):
+        parent = Bufferpool(MemoryBudget.from_bytes(1_000))
+        shares = [
+            parent.share(nbytes=250, owner=f"shard{index}") for index in range(4)
+        ]
+        assert parent.available_bytes == 0
+        with pytest.raises(BufferpoolExhaustedError):
+            parent.share(nbytes=1, owner="extra")
+        for share in shares:
+            share.close()
+        assert parent.available_bytes == 1_000
+
+    def test_child_enforces_its_own_budget(self):
+        parent = Bufferpool(MemoryBudget.from_bytes(1_000))
+        child = parent.share(nbytes=400, owner="shard0")
+        child.reserve(300, owner="sort")
+        with pytest.raises(BufferpoolExhaustedError):
+            child.reserve(200, owner="join")
+        child.release("sort")
+        child.close()
+
+    def test_close_with_outstanding_reservation_raises(self):
+        parent = Bufferpool(MemoryBudget.from_bytes(1_000))
+        child = parent.share(nbytes=400, owner="shard0")
+        child.reserve(100, owner="sort")
+        with pytest.raises(ConfigurationError):
+            child.close()
+        child.release("sort")
+        child.close()
+
+    def test_close_is_idempotent_and_blocks_reuse(self):
+        parent = Bufferpool(MemoryBudget.from_bytes(1_000))
+        child = parent.share(nbytes=400, owner="shard0")
+        child.close()
+        child.close()
+        assert parent.reserved_bytes == 0
+        with pytest.raises(ConfigurationError):
+            child.reserve(10, owner="sort")
+
+    def test_share_context_manager(self):
+        parent = Bufferpool(MemoryBudget.from_bytes(1_000))
+        with parent.share(fraction=0.5, owner="shard0") as child:
+            child.reserve(100, owner="sort")
+            child.release("sort")
+            assert parent.reserved_bytes == 500
+        assert parent.reserved_bytes == 0
+
+    def test_share_requires_exactly_one_size(self):
+        parent = Bufferpool(MemoryBudget.from_bytes(1_000))
+        with pytest.raises(ConfigurationError):
+            parent.share(owner="shard0")
+        with pytest.raises(ConfigurationError):
+            parent.share(fraction=0.5, nbytes=100, owner="shard0")
+        with pytest.raises(ConfigurationError):
+            parent.share(fraction=1.5, owner="shard0")
+
+    def test_concurrent_reservations_are_consistent(self):
+        import threading
+
+        pool = Bufferpool(MemoryBudget.from_bytes(100_000))
+        errors = []
+
+        def worker(owner):
+            try:
+                for _ in range(200):
+                    pool.reserve(100, owner=owner)
+                    pool.release(owner, 100)
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=worker, args=(f"w{index}",)) for index in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert pool.reserved_bytes == 0
