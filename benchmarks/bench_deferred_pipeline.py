@@ -1,0 +1,206 @@
+"""Boundary-policy sweep: materialize-all vs. pipeline vs. defer.
+
+The Wisconsin join+aggregate query -- filter the small relation, join it
+with the large one, group the result -- runs under three boundary
+policies for every device asymmetry ``lambda`` in {1, 2, 4, 8, 16}:
+
+* **materialize** -- every intermediate is settled on the persistent
+  device at each operator boundary (the pre-boundary legacy behavior);
+* **pipeline** -- every intermediate stays in DRAM;
+* **defer** -- deferrable intermediates (the filter edge) are never
+  produced at all: consumers re-derive them through the Section 3.1
+  runtime's control-flow graph, and its rules may veto the deferral when
+  writing is actually cheaper (which they do at lambda = 1).
+
+The interesting output is the lambda-weighted *written* cacheline count
+(writes x lambda, the currency of the paper's write-limited designs):
+pipelined and deferred plans must reduce it relative to materialize-all
+at every lambda >= 4, where the write/read asymmetry makes avoided
+settlements pay.  All three policies must return identical records.
+
+Runs standalone (``python benchmarks/bench_deferred_pipeline.py
+[--smoke]``) or under pytest-benchmark like the figure benchmarks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.harness import make_environment
+from repro.query import Query
+from repro.session import Session
+from repro.storage.bufferpool import MemoryBudget
+from repro.workloads.generator import make_join_inputs
+
+#: lambda in {1, 2, 4, 8, 16} with the paper's 10 ns reads.
+WRITE_LATENCIES = (10.0, 20.0, 40.0, 80.0, 160.0)
+LEFT_RECORDS = 400
+RIGHT_RECORDS = 4_000
+MEMORY_FRACTION = 0.10
+POLICIES = ("materialize", "pipeline", "defer")
+
+SMOKE_WRITE_LATENCIES = (10.0, 80.0)
+SMOKE_LEFT_RECORDS = 150
+SMOKE_RIGHT_RECORDS = 1_500
+
+#: Acceptance: at lambda >= 4, non-materializing policies must save writes.
+MIN_LAMBDA_FOR_SAVINGS = 4.0
+
+
+def build_query(left, right):
+    return (
+        Query.scan(left)
+        .filter(lambda record: record[0] < len(left) // 2, selectivity=0.5)
+        .join(Query.scan(right))
+        .group_by(1, {"count": 1, "sum": 0}, estimated_groups=LEFT_RECORDS)
+    )
+
+
+def run_one(write_ns: float, policy: str, left_records: int, right_records: int):
+    env = make_environment("blocked_memory", write_ns=write_ns)
+    left, right = make_join_inputs(left_records, right_records, env.backend)
+    budget = MemoryBudget.fraction_of(left, MEMORY_FRACTION)
+    session = Session(env.backend, budget, boundary_policy=policy)
+    result = session.query(build_query(left, right))
+    lam = env.device.write_read_ratio
+    deferred_edges = sum(
+        1
+        for execution in result.executions.values()
+        if execution.details.get("deferred")
+    )
+    return {
+        "lambda": lam,
+        "policy": policy,
+        "weighted_written_cachelines": result.io.cacheline_writes * lam,
+        "cacheline_writes": result.io.cacheline_writes,
+        "cacheline_reads": result.io.cacheline_reads,
+        "simulated_ms": result.simulated_seconds * 1e3,
+        "deferred_edges": deferred_edges,
+        "records": result.records,
+    }
+
+
+def boundary_policy_sweep(
+    write_latencies=WRITE_LATENCIES,
+    left_records=LEFT_RECORDS,
+    right_records=RIGHT_RECORDS,
+) -> list[dict]:
+    rows = []
+    for write_ns in write_latencies:
+        baseline_records = None
+        baseline_weighted = None
+        for policy in POLICIES:
+            row = run_one(write_ns, policy, left_records, right_records)
+            records = row.pop("records")
+            if baseline_records is None:
+                baseline_records = records
+                baseline_weighted = row["weighted_written_cachelines"]
+            assert records == baseline_records, (
+                f"policy {policy} changed the query result at "
+                f"lambda={row['lambda']:.0f}"
+            )
+            row["write_savings"] = (
+                1.0 - row["weighted_written_cachelines"] / baseline_weighted
+                if baseline_weighted
+                else 0.0
+            )
+            rows.append(row)
+    return rows
+
+
+def check_acceptance(rows: list[dict]) -> list[str]:
+    """Pipelined/deferred runs must cut weighted writes at lambda >= 4."""
+    failures = []
+    for row in rows:
+        if row["policy"] == "materialize":
+            continue
+        if row["lambda"] < MIN_LAMBDA_FOR_SAVINGS:
+            continue
+        if row["write_savings"] <= 0.0:
+            failures.append(
+                f"lambda={row['lambda']:.0f}: policy {row['policy']} saved "
+                f"{row['write_savings']:+.1%} weighted written cachelines "
+                "(expected a reduction)"
+            )
+    return failures
+
+
+def format_rows(rows: list[dict]) -> str:
+    from repro.bench.reporting import format_table
+
+    return format_table(
+        rows,
+        [
+            "lambda",
+            "policy",
+            "weighted_written_cachelines",
+            "cacheline_writes",
+            "cacheline_reads",
+            "write_savings",
+            "deferred_edges",
+            "simulated_ms",
+        ],
+        title="Boundary policies - Wisconsin join+aggregate, lambda sweep",
+    )
+
+
+# --------------------------------------------------------------------- #
+# pytest-benchmark entry point (like the figure benchmarks).
+# --------------------------------------------------------------------- #
+def test_deferred_pipeline(benchmark, report):
+    from conftest import attach_summary, run_experiment
+
+    rows = run_experiment(benchmark, boundary_policy_sweep)
+    report(format_rows(rows))
+    failures = check_acceptance(rows)
+    best = max(
+        row["write_savings"] for row in rows if row["policy"] != "materialize"
+    )
+    attach_summary(benchmark, grid_points=len(rows), best_write_savings=best)
+    assert not failures, "; ".join(failures)
+
+
+# --------------------------------------------------------------------- #
+# Standalone script entry point (used by CI's pipeline smoke job).
+# --------------------------------------------------------------------- #
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Boundary-policy sweep over the Wisconsin join+aggregate"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small, fast grid (used by CI to exercise the boundary paths)",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        rows = boundary_policy_sweep(
+            write_latencies=SMOKE_WRITE_LATENCIES,
+            left_records=SMOKE_LEFT_RECORDS,
+            right_records=SMOKE_RIGHT_RECORDS,
+        )
+    else:
+        rows = boundary_policy_sweep()
+    print(format_rows(rows))
+    failures = check_acceptance(rows)
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    savings = [
+        row["write_savings"]
+        for row in rows
+        if row["policy"] != "materialize"
+        and row["lambda"] >= MIN_LAMBDA_FOR_SAVINGS
+    ]
+    print(
+        f"\nOK: pipelined/deferred boundaries save between "
+        f"{min(savings):.0%} and {max(savings):.0%} weighted written "
+        f"cachelines at lambda >= {MIN_LAMBDA_FOR_SAVINGS:.0f}."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,7 +30,8 @@ import argparse
 import sys
 
 from repro.query import Query
-from repro.shard import HashPartitioner, ShardSet, execute_sharded_query
+from repro.session import Session
+from repro.shard import HashPartitioner, ShardSet
 from repro.shard.planner import ExchangeStep
 from repro.storage.bufferpool import MemoryBudget
 from repro.workloads.generator import make_sharded_join_inputs
@@ -69,9 +70,7 @@ def run_one(
         left_records, right_records, shard_set, right_partitioner=right_partitioner
     )
     budget = MemoryBudget.fraction_of(left, fraction)
-    result = execute_sharded_query(
-        Query.scan(left).join(Query.scan(right)), shard_set, budget
-    )
+    result = Session(shard_set, budget).query(Query.scan(left).join(Query.scan(right)))
     exchange_cachelines = sum(
         sum(io.total_cachelines for io in result.step_io[step.index])
         for step in result.plan.steps

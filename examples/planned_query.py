@@ -15,7 +15,7 @@ on each device; the executor then reports estimated vs. actual cacheline
 I/O for every plan node.
 """
 
-from repro import MemoryBudget, Query, QueryExecutor
+from repro import MemoryBudget, Query, Session
 from repro.bench.harness import make_environment
 from repro.workloads.generator import make_join_inputs
 
@@ -37,8 +37,8 @@ def run_on(write_ns: float) -> None:
         .order_by()
     )
 
-    executor = QueryExecutor(env.backend, budget)
-    result = executor.execute(query)
+    session = Session(env.backend, budget)
+    result = session.query(query)
     assert result.output.is_sorted()
 
     print(result.explain())

@@ -25,9 +25,8 @@ from repro import (
     HashPartitioner,
     MemoryBudget,
     Query,
-    QueryExecutor,
+    Session,
     ShardSet,
-    execute_sharded_query,
 )
 from repro.bench.harness import make_environment
 from repro.workloads.generator import make_join_inputs, make_sharded_join_inputs
@@ -50,9 +49,7 @@ def run_single_device():
     env = make_environment("blocked_memory")
     orders, lineitems = make_join_inputs(LEFT, RIGHT, env.backend)
     budget = MemoryBudget.fraction_of(orders, FRACTION)
-    result = QueryExecutor(env.backend, budget).execute(
-        build_query(orders, lineitems)
-    )
+    result = Session(env.backend, budget).query(build_query(orders, lineitems))
     print("=== single device ===")
     print(result.explain())
     print(
@@ -72,9 +69,7 @@ def run_sharded(repartition: bool):
         LEFT, RIGHT, shard_set, right_partitioner=right_partitioner
     )
     budget = MemoryBudget.fraction_of(orders, FRACTION)
-    result = execute_sharded_query(
-        build_query(orders, lineitems), shard_set, budget
-    )
+    result = Session(shard_set, budget).query(build_query(orders, lineitems))
     title = "repartition exchange" if repartition else "partition-wise"
     print(f"=== {SHARDS} shards ({title}) ===")
     print(result.explain())

@@ -42,6 +42,13 @@ The package is organized as follows:
     under parent/child bufferpool shares, reporting per-shard estimated
     vs. actual I/O and the critical-path (max-over-shards) cost.
 
+``repro.session``
+    The top-level ``Session`` facade: one front door owning the backend
+    (or shard set), the DRAM budget and the shared bufferpool, routing
+    queries to the single-device or sharded executor through the uniform
+    physical-operator protocol with per-edge materialize / pipeline /
+    defer boundary decisions.
+
 ``repro.workloads``
     Wisconsin-benchmark-style input generators.
 
@@ -84,7 +91,10 @@ from repro.joins import (
     SimpleHashJoin,
 )
 from repro.query import (
+    Boundary,
+    BoundaryKind,
     CostBasedPlanner,
+    PhysicalOperator,
     PhysicalPlan,
     Query,
     QueryExecutor,
@@ -102,6 +112,7 @@ from repro.shard import (
     ShardSet,
     execute_sharded_query,
 )
+from repro.session import Session
 
 __version__ = "1.0.0"
 
@@ -136,8 +147,12 @@ __all__ = [
     "Query",
     "CostBasedPlanner",
     "PhysicalPlan",
+    "PhysicalOperator",
+    "Boundary",
+    "BoundaryKind",
     "QueryExecutor",
     "QueryResult",
+    "Session",
     "execute_query",
     "ShardSet",
     "ShardedCollection",

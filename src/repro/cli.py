@@ -25,7 +25,8 @@ import sys
 
 from repro.bench import experiments, reporting
 from repro.bench.harness import make_environment
-from repro.query import Query, QueryExecutor
+from repro.query import Query
+from repro.session import Session
 from repro.storage.bufferpool import MemoryBudget
 from repro.workloads.generator import make_join_inputs, make_sort_input
 
@@ -301,14 +302,15 @@ def _run_query(args) -> str:
                 "--materialize is not supported with --shards > 1: the "
                 "sharded executor merges shard outputs in DRAM"
             )
-        from repro.shard import ShardSet, ShardedQueryExecutor
+        from repro.shard import ShardSet
 
         shard_set = ShardSet.create(
             args.shards, backend_name=args.backend, write_ns=args.write_ns
         )
         query, budget_base = builder(args, _Relations(shard_set=shard_set))
         budget = MemoryBudget.fraction_of(budget_base, args.fraction)
-        result = ShardedQueryExecutor(shard_set, budget).execute(query)
+        session = Session(shard_set, budget, boundary_policy=args.boundaries)
+        result = session.query(query)
         lines = [
             result.explain(),
             "",
@@ -323,10 +325,13 @@ def _run_query(args) -> str:
         env = make_environment(args.backend, write_ns=args.write_ns)
         query, budget_base = builder(args, _Relations(env=env))
         budget = MemoryBudget.fraction_of(budget_base, args.fraction)
-        executor = QueryExecutor(
-            env.backend, budget, materialize_result=args.materialize
+        session = Session(
+            env.backend,
+            budget,
+            materialize_result=args.materialize,
+            boundary_policy=args.boundaries,
         )
-        result = executor.execute(query)
+        result = session.query(query)
         lines = [
             result.explain(),
             "",
@@ -415,6 +420,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--materialize",
         action="store_true",
         help="write the final output to the persistent device",
+    )
+    query.add_argument(
+        "--boundaries",
+        choices=("cost", "materialize", "pipeline", "defer"),
+        default="cost",
+        help="operator-boundary placement: price each edge (cost, the "
+        "default) or force every intermediate to materialize, pipeline in "
+        "DRAM, or defer through the Section 3.1 runtime",
     )
     query.add_argument(
         "--rows", type=int, default=5, help="output records to preview"

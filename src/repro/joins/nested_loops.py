@@ -25,18 +25,25 @@ class NestedLoopsJoin(JoinAlgorithm):
         self, left: PersistentCollection, right: PersistentCollection
     ) -> JoinResult:
         output = self._make_output(left.name, right.name)
-        total_left = len(left)
-        if total_left == 0 or len(right) == 0:
+        if len(right) == 0:
             output.seal()
             return JoinResult(output=output, io=None)
 
         block_records = self.left_workspace_records
+        # A deferred build only knows its *estimated* cardinality, so its
+        # len() cannot bound the loop (trusting it could truncate the
+        # build side); terminate on an exhausted slice instead.  Settled
+        # collections keep the exact count-bounded loop.
+        known_total = None if left.is_deferred else len(left)
         iterations = 0
-        for block_start in range(0, total_left, block_records):
-            iterations += 1
+        block_start = 0
+        while known_total is None or block_start < known_total:
             block = list(
                 left.scan(start=block_start, stop=block_start + block_records)
             )
+            if not block:
+                break
+            iterations += 1
             # Hashing the block is a DRAM-side optimization: the I/O profile
             # is identical to tuple-at-a-time nested loops, only the Python
             # CPU time changes.
@@ -44,6 +51,9 @@ class NestedLoopsJoin(JoinAlgorithm):
             for right_record in right.scan():
                 for left_record in probe(table, right_record, self.right_key):
                     output.append(self.combine(left_record, right_record))
+            if len(block) < block_records:
+                break
+            block_start += block_records
         output.seal()
         return JoinResult(
             output=output,

@@ -36,18 +36,29 @@ The API has three layers:
         plan = CostBasedPlanner(backend, budget).plan(query)
         print(plan.explain())        # chosen operator + estimates per node
 
+**The physical operator protocol** (:mod:`repro.query.physical`)
+    Every plan node executes behind one streaming interface --
+    :class:`PhysicalOperator` with ``open()``/``blocks()``/``close()``
+    plus ``cost_estimate()`` and ``io_snapshot()`` -- and every plan edge
+    carries a :class:`Boundary` decision: materialize the intermediate on
+    the device, pipeline it in DRAM, or defer it entirely so the consumer
+    re-derives it through the Section 3.1 runtime
+    (:mod:`repro.runtime`).  ``explain()`` renders the decision per edge
+    with the estimated vs. actual settlement writes it saved.
+
 **Execution** (:mod:`repro.query.executor`)
-    :class:`QueryExecutor` (or the :func:`execute_query` shorthand) runs
-    the plan over the batched block-I/O path, one operator at a time,
-    with every operator's DRAM workspace registered against a shared
+    :class:`QueryExecutor` runs the plan over the batched block-I/O path,
+    one operator at a time, with every operator's DRAM workspace
+    registered against a shared
     :class:`~repro.storage.bufferpool.Bufferpool` so the budget is
-    enforced end-to-end.  Intermediate results are materialized on the
-    device; the final output stays in DRAM unless ``materialize_result``
-    is set (the paper factors that write out of its comparisons)::
+    enforced end-to-end.  The final output stays in DRAM unless
+    ``materialize_result`` is set (the paper factors that write out of
+    its comparisons).  The preferred front door is the
+    :class:`repro.session.Session` facade::
 
-        from repro.query import execute_query
+        from repro import Session
 
-        result = execute_query(query, backend, budget)
+        result = Session(backend, budget).query(query)
         print(result.records[:5])
         print(result.explain())      # estimated vs. actual I/O per node
 
@@ -62,6 +73,13 @@ from repro.query.executor import (
     QueryExecutor,
     QueryResult,
     execute_query,
+)
+from repro.query.physical import (
+    BOUNDARY_POLICIES,
+    Boundary,
+    BoundaryKind,
+    PhysicalOperator,
+    build_operator,
 )
 from repro.query.logical import (
     Filter,
@@ -95,6 +113,11 @@ __all__ = [
     "PlannedNode",
     "SORT_ALTERNATIVES",
     "JOIN_ALTERNATIVES",
+    "BOUNDARY_POLICIES",
+    "Boundary",
+    "BoundaryKind",
+    "PhysicalOperator",
+    "build_operator",
     "QueryExecutor",
     "QueryResult",
     "NodeExecution",

@@ -1,22 +1,33 @@
-"""Physical plan execution.
+"""Physical plan execution over the uniform operator protocol.
 
-The executor runs a :class:`~repro.query.planner.PhysicalPlan` bottom-up
-over persistent collections, one operator at a time:
+The executor runs a :class:`~repro.query.planner.PhysicalPlan` bottom-up.
+Every node -- scan, filter, project, sort, join, grouped aggregation --
+is wrapped in a :class:`~repro.query.physical.PhysicalOperator` and
+driven through ``open()``/``blocks()``/``close()``; what happens to the
+operator's output stream is the plan's per-edge
+:class:`~repro.query.physical.Boundary` decision:
 
-* ``Scan`` hands its (already materialized) collection to the consumer;
-* ``Filter``/``Project`` stream the child through the batched block-I/O
-  path and write the survivors out;
-* ``OrderBy``/``Join``/``GroupBy`` run the physical operator the planner
-  chose, pipelined (``materialize_output=False``), and the executor
-  settles the node's output-materialization write itself -- every
-  non-root output is written to the device, the root stays in DRAM unless
-  ``materialize_result`` asks for it, matching the planner's estimates.
+* ``MATERIALIZE`` edges drain the block stream onto the persistent
+  device (the classical settlement write);
+* ``PIPELINE`` edges keep the intermediate in DRAM, so the consumer
+  reads it for free;
+* ``DEFER`` edges produce nothing: the filter's derivation is recorded
+  in the execution's shared :class:`~repro.runtime.context.OperatorContext`
+  (the Section 3.1 control-flow graph), its rules assess the declared
+  collection, and -- if it stays deferred -- the consumer re-derives the
+  records from the source on every scan.
 
 Every operator registers its DRAM workspace with the executor's shared
-:class:`~repro.storage.bufferpool.Bufferpool`, so the memory budget is
-enforced across the whole plan, and the device I/O of every node is
-snapshotted individually: :meth:`QueryResult.explain` shows estimated
-vs. actual cacheline I/O per node.
+:class:`~repro.storage.bufferpool.Bufferpool`, so operator workspaces are
+enforced against the budget across the whole plan.  Pipelined
+intermediates themselves are *not* pool-accounted (operators already
+reserve the full budget while running, so staging them in the pool would
+deadlock it); the planner's per-edge feasibility gate -- an intermediate
+only pipelines when its estimated size fits the budget -- is what bounds
+them, and a forced ``boundary_policy="pipeline"`` deliberately bypasses
+that gate.  The device I/O of every node is snapshotted individually:
+:meth:`QueryResult.explain` shows estimated vs. actual cacheline I/O and
+elapsed device nanoseconds per node.
 """
 
 from __future__ import annotations
@@ -27,14 +38,8 @@ from dataclasses import dataclass, field
 from repro.exceptions import ConfigurationError
 from repro.pmem.backends.base import PersistenceBackend
 from repro.pmem.metrics import IOSnapshot
-from repro.query.logical import (
-    Filter,
-    GroupBy,
-    Join,
-    OrderBy,
-    Project,
-    Scan,
-)
+from repro.query.logical import Scan
+from repro.query.physical import BoundaryKind, build_operator
 from repro.query.planner import CostBasedPlanner, PhysicalPlan, PlannedNode
 from repro.storage.bufferpool import Bufferpool, MemoryBudget
 from repro.storage.collection import (
@@ -44,6 +49,7 @@ from repro.storage.collection import (
 )
 
 _output_counter = itertools.count()
+_context_counter = itertools.count()
 
 
 @dataclass
@@ -57,6 +63,11 @@ class NodeExecution:
     records: int
     details: dict = field(default_factory=dict)
 
+    @property
+    def elapsed_ns(self) -> float:
+        """Simulated device time this node spent (reads+writes+overhead)."""
+        return self.io.total_ns
+
 
 @dataclass
 class QueryResult:
@@ -68,6 +79,9 @@ class QueryResult:
     io: IOSnapshot
     #: Per-node actuals keyed by ``id(planned_node)``.
     executions: dict = field(default_factory=dict)
+    #: The Section 3.1 runtime context backing DEFER boundaries, when any
+    #: edge deferred (its graph, rules and decisions are inspectable).
+    runtime_context: object = None
 
     @property
     def records(self) -> list[tuple]:
@@ -80,6 +94,25 @@ class QueryResult:
     def explain(self) -> str:
         """The plan rendering with estimated vs. actual I/O per node."""
         return self.plan.explain(self.executions)
+
+
+class _ExecutionState:
+    """Per-execution scratch: node actuals plus the lazy runtime context."""
+
+    def __init__(self, backend: PersistenceBackend) -> None:
+        self.backend = backend
+        self.executions: dict = {}
+        self.context = None
+
+    def context_factory(self):
+        """The execution's shared OperatorContext, created on first use."""
+        if self.context is None:
+            from repro.runtime.context import OperatorContext
+
+            self.context = OperatorContext(
+                self.backend, name_prefix=f"query-ctx-{next(_context_counter)}"
+            )
+        return self.context
 
 
 class QueryExecutor:
@@ -95,6 +128,9 @@ class QueryExecutor:
         materialize_result: write the final output to the persistent
             device (the paper's experiments factor this write out, so the
             default keeps the root in DRAM).
+        boundary_policy: how the planner places operator boundaries when
+            :meth:`execute` plans a logical query itself; see
+            :class:`~repro.query.planner.CostBasedPlanner`.
     """
 
     def __init__(
@@ -103,160 +139,100 @@ class QueryExecutor:
         budget: MemoryBudget,
         bufferpool: Bufferpool | None = None,
         materialize_result: bool = False,
+        boundary_policy: str = "cost",
     ) -> None:
         self.backend = backend
         self.budget = budget
         self.bufferpool = bufferpool if bufferpool is not None else Bufferpool(budget)
         self.materialize_result = materialize_result
+        self.boundary_policy = boundary_policy
 
     def execute(self, query) -> QueryResult:
         """Plan (when needed) and run a query, collecting per-node I/O."""
         if getattr(query, "is_sharded_plan", False):
             raise ConfigurationError(
                 "this is a sharded plan; run it through "
-                "repro.shard.ShardedQueryExecutor (or execute_sharded_query) "
+                "repro.shard.ShardedQueryExecutor (or repro.Session) "
                 "instead of the single-device QueryExecutor"
             )
         if isinstance(query, PhysicalPlan):
             plan = query
         else:
-            plan = CostBasedPlanner(self.backend, self.budget).plan(query)
+            plan = CostBasedPlanner(
+                self.backend, self.budget, boundary_policy=self.boundary_policy
+            ).plan(query)
         if getattr(plan, "is_sharded_plan", False):
             raise ConfigurationError(
                 "the query scans sharded collections; run it through "
-                "repro.shard.ShardedQueryExecutor (or execute_sharded_query) "
+                "repro.shard.ShardedQueryExecutor (or repro.Session) "
                 "instead of the single-device QueryExecutor"
             )
         if self.materialize_result:
             plan.materialize_root()
         device = self.backend.device
-        executions: dict = {}
+        state = _ExecutionState(self.backend)
         before = device.snapshot()
-        root_execution = self._execute_node(plan.root, executions)
+        root_execution = self._execute_node(plan.root, state)
         total = device.snapshot() - before
+        self._backfill_deferred(state)
         return QueryResult(
             plan=plan,
             output=root_execution.output,
             io=total,
-            executions=executions,
+            executions=state.executions,
+            runtime_context=state.context,
         )
 
     # ------------------------------------------------------------------ #
     # Node execution.
     # ------------------------------------------------------------------ #
-    def _execute_node(self, node: PlannedNode, executions: dict) -> NodeExecution:
+    def _execute_node(self, node: PlannedNode, state: _ExecutionState) -> NodeExecution:
         inputs = [
-            self._execute_node(child, executions).output for child in node.children
+            self._execute_node(child, state).output for child in node.children
         ]
         device = self.backend.device
         before = device.snapshot()
-        output, details = self._run_operator(node, inputs)
+        operator = build_operator(
+            node,
+            inputs,
+            backend=self.backend,
+            bufferpool=self.bufferpool,
+            context_factory=state.context_factory,
+        )
+        operator.open()
+        output = self._settle(node, operator)
+        operator.close()
         io = device.snapshot() - before
         execution = NodeExecution(
             node=node,
             output=output,
             io=io,
-            records=len(output.records),
-            details=details,
+            records=0 if output.is_deferred else len(output.records),
+            details=operator.details,
         )
-        executions[id(node)] = execution
+        state.executions[id(node)] = execution
         return execution
 
-    def _run_operator(self, node: PlannedNode, inputs: list[PersistentCollection]):
-        logical = node.logical
-        if isinstance(logical, Scan):
-            logical.collection.open()
-            return logical.collection, {}
-        if isinstance(logical, Filter):
-            return self._run_filter(node, inputs[0])
-        if isinstance(logical, Project):
-            return self._run_project(node, inputs[0])
-        if isinstance(logical, OrderBy):
-            return self._run_sort(node, inputs[0])
-        if isinstance(logical, Join):
-            return self._run_join(node, inputs[0], inputs[1])
-        if isinstance(logical, GroupBy):
-            return self._run_group_by(node, inputs[0])
-        raise ConfigurationError(f"unknown plan node {type(logical).__name__}")
-
-    def _run_filter(self, node: PlannedNode, source: PersistentCollection):
-        predicate = node.logical.predicate
+    def _settle(self, node: PlannedNode, operator) -> PersistentCollection:
+        """Realize the operator's output per the node's boundary decision."""
+        if isinstance(node.logical, Scan):
+            return operator.output
+        kind = node.boundary.kind
+        if kind is BoundaryKind.DEFER:
+            # Nothing to drain: the consumer re-derives (or, if the rules
+            # overrode the deferral, the runtime already produced it).
+            return operator.output
+        if (
+            kind is BoundaryKind.PIPELINE
+            and operator.output is not None
+            and operator.output.is_memory
+        ):
+            return operator.output
         sink = AppendBuffer(self._sink(node))
-        for block in source.scan_blocks():
-            sink.extend(record for record in block if predicate(record))
+        for block in operator.blocks():
+            sink.extend(block)
         sink.seal()
-        return sink.collection, {}
-
-    def _run_project(self, node: PlannedNode, source: PersistentCollection):
-        indices = node.logical.indices
-        sink = AppendBuffer(self._sink(node))
-        for block in source.scan_blocks():
-            sink.extend(tuple(record[i] for i in indices) for record in block)
-        sink.seal()
-        return sink.collection, {}
-
-    def _run_sort(self, node: PlannedNode, source: PersistentCollection):
-        sorter = node.factory(self.bufferpool)
-        result = sorter.sort(source)
-        details = {
-            "runs_generated": result.runs_generated,
-            "merge_passes": result.merge_passes,
-            "input_scans": result.input_scans,
-        }
-        return self._settle(node, result.output), details
-
-    def _run_join(
-        self,
-        node: PlannedNode,
-        left: PersistentCollection,
-        right: PersistentCollection,
-    ):
-        algorithm = node.factory(self.bufferpool)
-        swapped = node.extra.get("swapped", False)
-        build, probe = (right, left) if swapped else (left, right)
-        result = algorithm.join(build, probe)
-        details = {
-            "partitions": result.partitions,
-            "iterations": result.iterations,
-            "swapped": swapped,
-        }
-        records = result.output.records
-        if swapped:
-            # The algorithm emitted build+probe = right+left concatenations;
-            # restore the logical left+right attribute order.
-            build_fields = build.schema.num_fields
-            records = [
-                record[build_fields:] + record[:build_fields] for record in records
-            ]
-            return self._settle_records(node, records), details
-        return self._settle(node, result.output), details
-
-    def _run_group_by(self, node: PlannedNode, source: PersistentCollection):
-        aggregation = node.factory(self.bufferpool)
-        result = aggregation.aggregate(source)
-        details = {"groups": result.groups, "spills": result.spills}
-        details.update(result.details)
-        return self._settle(node, result.output), details
-
-    # ------------------------------------------------------------------ #
-    # Output settlement.
-    # ------------------------------------------------------------------ #
-    def _settle(self, node: PlannedNode, pipelined: PersistentCollection):
-        """Realize a pipelined operator output per the node's plan.
-
-        Operators run with ``materialize_output=False``; when the plan
-        wants the node's output on the device the executor performs the
-        write here, charging exactly the bytes the operator would have.
-        """
-        if not node.materialized:
-            return pipelined
-        return self._settle_records(node, pipelined.records)
-
-    def _settle_records(self, node: PlannedNode, records: list[tuple]):
-        sink = self._sink(node)
-        sink.extend(records)
-        sink.seal()
-        return sink
+        return sink.collection
 
     def _sink(self, node: PlannedNode) -> PersistentCollection:
         name = f"query-{node.operator.lower()}-{next(_output_counter)}"
@@ -271,6 +247,34 @@ class QueryExecutor:
             name=name, schema=node.schema, status=CollectionStatus.MEMORY
         )
 
+    def _backfill_deferred(self, state: _ExecutionState) -> None:
+        """Fill in actuals for edges that stayed deferred.
+
+        A deferred node never counts its own records at execution time;
+        after the plan finishes, the runtime context knows how many
+        records the consumer actually re-derived.
+        """
+        if state.context is None:
+            return
+        for execution in state.executions.values():
+            if not execution.details.get("deferred"):
+                continue
+            if not execution.output.is_deferred:
+                continue
+            name = execution.output.name
+            count = state.context.last_reconstructed_records(name)
+            if count is not None:
+                execution.records = count
+            else:
+                # No derivation ran to exhaustion, so the true cardinality
+                # is unknown; fall back to the estimate and say so.
+                execution.records = int(round(execution.node.est_records))
+                execution.details["records_estimated"] = True
+            execution.details["reconstructions"] = state.context.reconstruction_count(
+                name
+            )
+
+
 def execute_query(
     query,
     backend: PersistenceBackend,
@@ -278,7 +282,15 @@ def execute_query(
     bufferpool: Bufferpool | None = None,
     materialize_result: bool = False,
 ) -> QueryResult:
-    """Plan and execute ``query`` in one call (convenience wrapper)."""
+    """Deprecated shorthand; use :class:`repro.session.Session` instead."""
+    import warnings
+
+    warnings.warn(
+        "repro.query.execute_query() is deprecated; use "
+        "repro.Session(backend, budget).query(...) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     executor = QueryExecutor(
         backend,
         budget,

@@ -62,6 +62,7 @@ from repro.query.logical import (
     Query,
     Scan,
 )
+from repro.query.physical import BOUNDARY_POLICIES, Boundary, BoundaryKind
 from repro.sorts import ExternalMergeSort, HybridSort, LazySort, SegmentSort
 from repro.storage.bufferpool import Bufferpool, MemoryBudget
 from repro.storage.schema import Schema
@@ -107,12 +108,19 @@ class PlannedNode:
     #: Model prices compare across alternatives but exclude the node's
     #: output-settlement adjustment, so they need not match ``est_cost_ns``.
     alternatives: dict[str, float] = field(default_factory=dict)
-    #: Whether this node's output is written to the persistent device.
-    materialized: bool = True
+    #: How this node's output edge moves data to its consumer.  Scans (and
+    #: any other node left at the default) count as materialized: their
+    #: collections already live on the device.
+    boundary: Boundary = field(default_factory=Boundary)
     factory: Optional[Callable[[Optional[Bufferpool]], object]] = None
     children: tuple["PlannedNode", ...] = ()
     #: Operator-specific planning details (e.g. ``swapped`` for joins).
     extra: dict = field(default_factory=dict)
+
+    @property
+    def materialized(self) -> bool:
+        """Whether this node's output is written to the persistent device."""
+        return self.boundary.kind is BoundaryKind.MATERIALIZE
 
     def walk(self):
         """Yield the subtree nodes in depth-first, children-first order."""
@@ -151,18 +159,25 @@ class PhysicalPlan:
         """
         if self.root.materialized:
             return
-        self.root.materialized = True
+        self.root.boundary = Boundary(
+            kind=BoundaryKind.MATERIALIZE,
+            priced=dict(self.root.boundary.priced),
+            reason="materialize_result requested",
+        )
         self.root.est_cost_ns += output_write_cost_ns(
             self.backend, self.root.est_records, self.root.schema
         )
 
     def explain(self, executions: dict | None = None) -> str:
-        """Render the plan, one line per node.
+        """Render the plan, one line per node plus a total summary line.
 
-        Each line shows the chosen operator, the estimated output
-        cardinality and the estimated cacheline I/O; after execution the
-        executor passes per-node actuals and the rendering shows estimated
-        vs. actual side by side.
+        Each line shows the chosen operator, its boundary decision
+        (pipelined / deferred edges report the settlement write they
+        avoid, estimated vs. actual once executed), the estimated output
+        cardinality, the estimated weighted-cacheline I/O and the
+        estimated elapsed nanoseconds; after execution the executor passes
+        per-node actuals and the rendering shows estimated vs. actual side
+        by side.
         """
         read_ns = self.backend.device.latency.read_ns
         lam = self.backend.device.write_read_ratio
@@ -172,6 +187,16 @@ class PhysicalPlan:
             f"backend={self.backend.name})"
         ]
         self._render(self.root, "", True, lines, read_ns, lam, executions)
+        est_total = sum(node.est_cost_ns for node in self.root.walk())
+        summary = f"total: est {est_total:.0f} ns"
+        if executions:
+            actual_total = sum(
+                executions[id(node)].io.total_ns
+                for node in self.root.walk()
+                if id(node) in executions
+            )
+            summary += f" / actual {actual_total:.0f} ns"
+        lines.append(summary)
         return "\n".join(lines)
 
     def explain_lines(
@@ -190,11 +215,17 @@ class PhysicalPlan:
 
     def _render(self, node, prefix, is_root, lines, read_ns, lam, executions):
         est_weighted = node.est_cost_ns / read_ns
+        boundary = node.boundary
+        tag = ""
+        if not isinstance(node.logical, Scan):
+            if boundary.kind is BoundaryKind.PIPELINE:
+                tag = " (pipelined)"
+            elif boundary.kind is BoundaryKind.DEFER:
+                tag = " (deferred)"
         text = (
-            f"{node.logical.describe()} -> {node.operator}"
-            f"{'' if node.materialized else ' (pipelined)'}"
+            f"{node.logical.describe()} -> {node.operator}{tag}"
             f" | est {node.est_records:.0f} rec,"
-            f" {est_weighted:.0f} wcl"
+            f" {est_weighted:.0f} wcl, {node.est_cost_ns:.0f} ns"
         )
         execution = (executions or {}).get(id(node))
         if execution is not None:
@@ -203,7 +234,14 @@ class PhysicalPlan:
                 f" | actual {execution.records} rec, {actual_weighted:.0f} wcl"
                 f" ({execution.io.cacheline_reads:.0f}r/"
                 f"{execution.io.cacheline_writes:.0f}w)"
+                f", {execution.io.total_ns:.0f} ns"
             )
+        if not isinstance(node.logical, Scan) and not boundary.is_materialize:
+            saved_est = boundary.est_saved_write_ns / read_ns
+            text += f" | {boundary.describe()} saves est {saved_est:.0f} wclw"
+            if execution is not None:
+                saved_actual = self._actual_saved_wclw(node, execution, lam)
+                text += f" / actual {saved_actual:.0f} wclw"
         if len(node.alternatives) > 1:
             ranked = sorted(node.alternatives.items(), key=lambda item: item[1])
             # Raw Section 2 model prices: comparable across alternatives,
@@ -217,20 +255,57 @@ class PhysicalPlan:
         for child in node.children:
             self._render(child, child_prefix, False, lines, read_ns, lam, executions)
 
+    def _actual_saved_wclw(self, node, execution, lam: float) -> float:
+        """Weighted cachelines the boundary actually avoided writing.
+
+        A deferred edge the runtime rules overrode (``deferred: False`` in
+        the execution details) saved nothing -- its records were produced
+        on the device after all.
+        """
+        if execution.details.get("deferred") is False:
+            return 0.0
+        geometry = self.backend.device.geometry
+        cachelines = geometry.bytes_to_cachelines(
+            execution.records * node.schema.record_bytes
+        )
+        return cachelines * lam
+
 
 class CostBasedPlanner:
     """Chooses physical operators by pricing the Section 2 cost models.
+
+    After operator selection, a second pass prices every producer->
+    consumer edge and records a :class:`~repro.query.physical.Boundary`
+    decision on the producing node: keep the classical materialized
+    handoff, pipeline the intermediate in DRAM, or defer it entirely
+    (filter edges only) so the consumer re-derives the records through
+    the Section 3.1 runtime.
 
     Args:
         backend: persistence backend (and through it the device whose
             ``lambda`` and geometry parametrize every model).
         budget: DRAM budget shared by the whole plan; one operator runs at
             a time, so each node may use the full budget.
+        boundary_policy: ``"cost"`` (price each edge, the default) or a
+            forced policy -- ``"materialize"`` (the pre-boundary legacy
+            behavior), ``"pipeline"`` (every edge in DRAM) or ``"defer"``
+            (defer wherever structurally possible, materialize the rest).
     """
 
-    def __init__(self, backend: PersistenceBackend, budget: MemoryBudget) -> None:
+    def __init__(
+        self,
+        backend: PersistenceBackend,
+        budget: MemoryBudget,
+        boundary_policy: str = "cost",
+    ) -> None:
+        if boundary_policy not in BOUNDARY_POLICIES:
+            raise ConfigurationError(
+                f"unknown boundary policy {boundary_policy!r}; expected one "
+                f"of {', '.join(BOUNDARY_POLICIES)}"
+            )
         self.backend = backend
         self.budget = budget
+        self.boundary_policy = boundary_policy
         device = backend.device
         self.read_ns = device.latency.read_ns
         self.lam = device.write_read_ratio
@@ -255,11 +330,16 @@ class CostBasedPlanner:
 
         sharded = find_sharded_collections(node)
         if sharded:
-            return ShardedPlanner(sharded[0].shard_set, self.budget).plan(node)
+            return ShardedPlanner(
+                sharded[0].shard_set,
+                self.budget,
+                boundary_policy=self.boundary_policy,
+            ).plan(node)
         root = self._plan_node(node)
+        self._decide_boundaries(root)
         # The root stays in DRAM: the paper factors the final-output write
         # out of its comparisons.  The executor re-adds it on request.
-        self._set_materialized(root, False)
+        self._pipeline_root(root)
         return PhysicalPlan(root=root, backend=self.backend, budget=self.budget)
 
     # ------------------------------------------------------------------ #
@@ -569,18 +649,174 @@ class CostBasedPlanner:
     def _write_cost_ns(self, est_records: float, schema: Schema) -> float:
         return output_write_cost_ns(self.backend, est_records, schema)
 
-    def _set_materialized(self, node: PlannedNode, materialized: bool) -> None:
-        if node.materialized == materialized or isinstance(node.logical, Scan):
-            return
-        node.materialized = materialized
-        if not materialized:
-            # Remove the output-write term the estimate carried.  OrderBy
-            # models bundle it (uniformly across algorithms), so the same
-            # subtraction applies.
-            node.est_cost_ns = max(
-                0.0,
-                node.est_cost_ns
-                - self._write_cost_ns(node.est_records, node.schema),
+    # ------------------------------------------------------------------ #
+    # Boundary decisions (materialize vs. pipeline vs. defer per edge).
+    # ------------------------------------------------------------------ #
+    def _decide_boundaries(self, root: PlannedNode) -> None:
+        """Price and record a boundary for every non-scan plan edge.
+
+        The pass runs after operator selection: each edge is priced as a
+        delta against the materialized handoff the Section 2 estimates
+        assume, and the chosen boundary adjusts the producing node's
+        estimate (no settlement write) and the consuming node's estimate
+        (DRAM or re-derived reads instead of device reads).
+        """
+        for parent in root.walk():
+            for index, child in enumerate(parent.children):
+                if isinstance(child.logical, Scan):
+                    continue
+                self._decide_edge(parent, index, child)
+
+    def _decide_edge(self, parent: PlannedNode, index: int, child: PlannedNode):
+        policy = self.boundary_policy
+        write_ns = self._write_cost_ns(child.est_records, child.schema)
+        read_back_ns = self._buffers(child.est_records, child.schema) * self.read_ns
+        readback_passes, derive_passes = self._edge_passes(parent, index)
+        child.extra["consumer_passes"] = derive_passes
+        pipeline_fits = (
+            child.est_records * child.schema.record_bytes <= self.budget.nbytes
+        )
+        derive_read_ns = self._defer_source_read_ns(parent, index, child)
+
+        # Candidate deltas vs. materializing the edge: the child settles
+        # its output once (``write_ns``, already in its estimate) and the
+        # consumer reads the settled output ``readback_passes`` times.
+        candidates = {"materialize": 0.0}
+        if pipeline_fits or policy == "pipeline":
+            candidates["pipeline"] = -(write_ns + readback_passes * read_back_ns)
+        if derive_read_ns is not None:
+            # Deferring removes the child's eager source read and its
+            # settlement write, and replaces the consumer's read-back with
+            # ``derive_passes`` re-derivations of the source.
+            candidates["defer"] = (
+                (derive_passes - 1.0) * derive_read_ns
+                - write_ns
+                - readback_passes * read_back_ns
             )
+
+        if policy == "materialize":
+            kind, reason = BoundaryKind.MATERIALIZE, "forced by policy"
+        elif policy == "pipeline":
+            kind, reason = BoundaryKind.PIPELINE, "forced by policy"
+        elif policy == "defer":
+            if derive_read_ns is not None:
+                kind, reason = BoundaryKind.DEFER, "forced by policy"
+            else:
+                kind = BoundaryKind.MATERIALIZE
+                reason = "defer not applicable on this edge"
         else:
-            node.est_cost_ns += self._write_cost_ns(node.est_records, node.schema)
+            kind, reason = self._cheapest_boundary(
+                candidates, pipeline_fits, write_ns, derive_read_ns
+            )
+
+        child.boundary = Boundary(
+            kind=kind,
+            priced=candidates,
+            est_saved_write_ns=0.0 if kind is BoundaryKind.MATERIALIZE else write_ns,
+            reason=reason,
+        )
+        if kind is BoundaryKind.PIPELINE:
+            child.est_cost_ns = max(0.0, child.est_cost_ns - write_ns)
+            parent.est_cost_ns = max(
+                0.0, parent.est_cost_ns - readback_passes * read_back_ns
+            )
+        elif kind is BoundaryKind.DEFER:
+            # The child never runs; the consumer re-derives the stream
+            # from the filter's source instead of reading the output back.
+            child.est_cost_ns = 0.0
+            parent.est_cost_ns = max(
+                0.0,
+                parent.est_cost_ns
+                + derive_passes * derive_read_ns
+                - readback_passes * read_back_ns,
+            )
+
+    def _cheapest_boundary(
+        self,
+        candidates: dict[str, float],
+        pipeline_fits: bool,
+        write_ns: float,
+        derive_read_ns: Optional[float],
+    ):
+        """Pick the cheapest admissible boundary (ties prefer pipelining).
+
+        Deferral is only admissible when the settlement write costs more
+        than one re-derivation read -- the same comparison the runtime's
+        read-over-write rule makes, so the plan never defers an edge the
+        rule engine would immediately materialize back.
+        """
+        best, best_cost, best_reason = "materialize", 0.0, "cheapest boundary"
+        if pipeline_fits and candidates.get("pipeline", 0.0) < best_cost:
+            best, best_cost = "pipeline", candidates["pipeline"]
+            best_reason = "cheapest boundary (fits in the DRAM budget)"
+        if (
+            derive_read_ns is not None
+            and write_ns > derive_read_ns
+            and candidates.get("defer", 0.0) < best_cost
+        ):
+            best, best_cost = "defer", candidates["defer"]
+            best_reason = "cheapest boundary (re-derivation beats the write)"
+        return BoundaryKind(best), best_reason
+
+    def _edge_passes(self, parent: PlannedNode, child_index: int):
+        """``(readback_passes, derive_passes)`` for one consumer input.
+
+        ``readback_passes`` is how many full-input-equivalent reads the
+        parent makes over a *settled* (materialized) input;
+        ``derive_passes`` is the same volume when the input is re-derived
+        from its source instead (a ``DEFER`` boundary).  They differ for
+        block nested loops: the build side is read in ``scan(start,
+        stop)`` slices -- one pass total over a directly-addressable
+        settled collection, but a triangular ``(blocks+1)/2`` passes when
+        every slice must re-derive its prefix -- while the probe side is
+        fully re-read once per build block in either representation.
+        Every other operator's extra passes run over its own partitions
+        or runs (charged to that node), not over the input collection.
+        """
+        if parent.operator == "NLJ":
+            build_index = 1 if parent.extra.get("swapped", False) else 0
+            build = parent.children[build_index]
+            workspace = max(1, self.budget.record_capacity(build.schema))
+            blocks = max(1.0, math.ceil(build.est_records / workspace))
+            if child_index == build_index:
+                return 1.0, (blocks + 1.0) / 2.0
+            return blocks, blocks
+        return 1.0, 1.0
+
+    def _defer_source_read_ns(
+        self, parent: PlannedNode, child_index: int, child: PlannedNode
+    ) -> Optional[float]:
+        """Cost of one re-derivation, when the edge is structurally deferrable.
+
+        An edge can defer when the child is a ``Filter`` directly over a
+        materialized scan (the Section 3.1 runtime re-derives it through a
+        recorded ``filter()`` call) and the consumer streams the input
+        front to back -- the sort operators are excluded because they
+        slice-scan their input by segment, which a re-derived stream
+        cannot serve at a priceable cost.
+        """
+        logical = child.logical
+        if not isinstance(logical, Filter) or not isinstance(logical.child, Scan):
+            return None
+        if parent.operator in SORT_ALTERNATIVES or parent.operator.startswith(
+            "SortAgg["
+        ):
+            return None
+        if parent.operator == "HybJ":
+            # The hybrid join splits both inputs positionally from their
+            # reported lengths; a deferred input only knows an estimate.
+            return None
+        source = child.children[0]
+        return self._buffers(source.est_records, source.schema) * self.read_ns
+
+    def _pipeline_root(self, root: PlannedNode) -> None:
+        """Pin the plan root to DRAM (the paper's final-output convention)."""
+        if isinstance(root.logical, Scan):
+            return
+        write_ns = self._write_cost_ns(root.est_records, root.schema)
+        root.boundary = Boundary(
+            kind=BoundaryKind.PIPELINE,
+            est_saved_write_ns=write_ns,
+            reason="plan root stays in DRAM unless materialize_result",
+        )
+        root.est_cost_ns = max(0.0, root.est_cost_ns - write_ns)

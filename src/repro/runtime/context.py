@@ -54,6 +54,8 @@ class OperatorContext:
         self._expected_records: dict[str, int] = {}
         self._process_count_hints: dict[str, int] = {}
         self._accumulated_read_ns: dict[str, float] = {}
+        self._reconstruction_counts: dict[str, int] = {}
+        self._last_reconstructed: dict[str, int] = {}
         self.decisions: list[MaterializationDecision] = []
 
     # ------------------------------------------------------------------ #
@@ -273,10 +275,41 @@ class OperatorContext:
     def reconstruct(
         self, name: str, start: int = 0, stop: int | None = None
     ) -> Iterator[tuple]:
-        """Stream a deferred collection's records without materializing them."""
-        iterator = self._derive(name)
-        sliced = itertools.islice(iterator, start, stop)
-        yield from sliced
+        """Stream a deferred collection's records without materializing them.
+
+        Fully consumed reconstructions are tallied (count of derivations,
+        and the collection's true cardinality whenever a derivation runs
+        to exhaustion -- including sliced scans that reach past the end),
+        so callers -- the query executor's deferred boundaries in
+        particular -- can report how much re-derivation a deferral
+        actually cost.
+        """
+        produced = 0
+
+        def counted() -> Iterator[tuple]:
+            nonlocal produced
+            for record in self._derive(name):
+                produced += 1
+                yield record
+
+        sliced = itertools.islice(counted(), start, stop)
+        for record in sliced:
+            yield record
+        self._reconstruction_counts[name] = (
+            self._reconstruction_counts.get(name, 0) + 1
+        )
+        if stop is None or produced < stop:
+            # The derivation ran dry before (or exactly at) the slice
+            # bound, so ``produced`` is the collection's full cardinality.
+            self._last_reconstructed[name] = produced
+
+    def reconstruction_count(self, name: str) -> int:
+        """How many times ``name`` has been fully re-derived."""
+        return self._reconstruction_counts.get(name, 0)
+
+    def last_reconstructed_records(self, name: str) -> int | None:
+        """Records yielded by the last full reconstruction, if any."""
+        return self._last_reconstructed.get(name)
 
     # ------------------------------------------------------------------ #
     # Cost bookkeeping used by the rules.

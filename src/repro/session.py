@@ -1,0 +1,249 @@
+"""The top-level Session facade: one front door for planned queries.
+
+A :class:`Session` owns the pieces that used to be wired up by hand at
+every call site -- the persistence backend (or
+:class:`~repro.shard.collection.ShardSet`), the DRAM
+:class:`~repro.storage.bufferpool.MemoryBudget` and the shared
+:class:`~repro.storage.bufferpool.Bufferpool` -- and routes queries to
+the right executor through the uniform physical-operator protocol::
+
+    from repro import MemoryBudget, Query, Session
+
+    session = Session(backend, MemoryBudget.from_records(64))
+    result = session.query(
+        Query.scan(orders).filter(pred, selectivity=0.5).join(Query.scan(items))
+    )
+    print(result.explain())          # boundary decisions per edge
+
+Single-device queries run through
+:class:`~repro.query.executor.QueryExecutor`; queries over sharded
+collections (or a session built on a ``ShardSet``) run through
+:class:`~repro.shard.executor.ShardedQueryExecutor`.  Both share the
+session's bufferpool, so successive (and sharded-concurrent) queries are
+accounted against one DRAM budget -- the hook for multi-query admission
+control.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.exceptions import ConfigurationError
+from repro.pmem.backends import make_backend
+from repro.pmem.backends.base import PersistenceBackend
+from repro.pmem.device import PersistentMemoryDevice
+from repro.query.executor import QueryExecutor, QueryResult
+from repro.query.logical import Query
+from repro.query.physical import BOUNDARY_POLICIES
+from repro.query.planner import CostBasedPlanner
+from repro.shard.collection import ShardSet
+from repro.shard.executor import ShardedQueryExecutor, ShardedQueryResult
+from repro.shard.planner import ShardedPlanner, find_sharded_collections
+from repro.storage.bufferpool import Bufferpool, MemoryBudget
+from repro.storage.collection import PersistentCollection
+from repro.storage.schema import Schema, WISCONSIN_SCHEMA
+
+#: Budget used when a session is created without one: 1 MiB of DRAM.
+DEFAULT_SESSION_BUDGET_BYTES = 1 << 20
+
+
+class Session:
+    """A query session over one device, backend, or shard set.
+
+    Args:
+        target: where the data lives -- a
+            :class:`~repro.pmem.backends.base.PersistenceBackend`, a bare
+            :class:`~repro.pmem.device.PersistentMemoryDevice` (wrapped in
+            the blocked-memory backend), a :class:`ShardSet`, or a backend
+            name (``"blocked_memory"``, ``"pmfs"``, ``"ramdisk"``,
+            ``"dynamic_array"``) to build a fresh simulated device.
+        budget: DRAM budget shared by every query; 1 MiB when omitted.
+        bufferpool: the shared pool; a fresh one over ``budget`` when
+            omitted.
+        materialize_result: default for :meth:`query`; write final
+            outputs to the persistent device instead of leaving them in
+            DRAM.
+        boundary_policy: default boundary placement for planned queries
+            (``"cost"``, ``"materialize"``, ``"pipeline"`` or
+            ``"defer"``).
+    """
+
+    def __init__(
+        self,
+        target,
+        budget: MemoryBudget | None = None,
+        *,
+        bufferpool: Bufferpool | None = None,
+        materialize_result: bool = False,
+        boundary_policy: str = "cost",
+    ) -> None:
+        if boundary_policy not in BOUNDARY_POLICIES:
+            raise ConfigurationError(
+                f"unknown boundary policy {boundary_policy!r}; expected one "
+                f"of {', '.join(BOUNDARY_POLICIES)}"
+            )
+        self.shard_set: Optional[ShardSet] = None
+        self.backend: Optional[PersistenceBackend] = None
+        if isinstance(target, ShardSet):
+            self.shard_set = target
+        elif isinstance(target, PersistenceBackend):
+            self.backend = target
+        elif isinstance(target, PersistentMemoryDevice):
+            self.backend = make_backend("blocked_memory", target)
+        elif isinstance(target, str):
+            self.backend = make_backend(target, PersistentMemoryDevice())
+        else:
+            raise ConfigurationError(
+                f"cannot build a Session over {type(target).__name__}; "
+                "expected a PersistenceBackend, PersistentMemoryDevice, "
+                "ShardSet, or backend name"
+            )
+        self.budget = budget or MemoryBudget(DEFAULT_SESSION_BUDGET_BYTES)
+        self.bufferpool = (
+            bufferpool if bufferpool is not None else Bufferpool(self.budget)
+        )
+        self.materialize_result = materialize_result
+        self.boundary_policy = boundary_policy
+
+    # ------------------------------------------------------------------ #
+    # Introspection.
+    # ------------------------------------------------------------------ #
+    @property
+    def is_sharded(self) -> bool:
+        return self.shard_set is not None
+
+    @property
+    def device(self) -> PersistentMemoryDevice:
+        """The (first) simulated device behind the session."""
+        if self.shard_set is not None:
+            return self.shard_set.backends[0].device
+        return self.backend.device
+
+    # ------------------------------------------------------------------ #
+    # Data helpers.
+    # ------------------------------------------------------------------ #
+    def create_collection(
+        self,
+        name: str,
+        schema: Schema = WISCONSIN_SCHEMA,
+        records=None,
+    ) -> PersistentCollection:
+        """A materialized collection on the session's (first) backend.
+
+        On a sharded session, use :class:`~repro.shard.collection.
+        ShardedCollection` directly to spread data across the shard set.
+        """
+        if self.shard_set is not None:
+            raise ConfigurationError(
+                "create_collection targets a single backend; build a "
+                "ShardedCollection over the session's shard_set instead"
+            )
+        collection = PersistentCollection(
+            name=name, backend=self.backend, schema=schema
+        )
+        if records is not None:
+            collection.extend(records)
+            collection.seal()
+        return collection
+
+    # ------------------------------------------------------------------ #
+    # Planning and execution.
+    # ------------------------------------------------------------------ #
+    def plan(self, query, boundary_policy: str | None = None):
+        """Plan a query without running it (single-device or sharded)."""
+        policy = boundary_policy or self.boundary_policy
+        shard_set = self._route(query)
+        if shard_set is not None:
+            return ShardedPlanner(
+                shard_set, self.budget, boundary_policy=policy
+            ).plan(query)
+        return CostBasedPlanner(
+            self.backend, self.budget, boundary_policy=policy
+        ).plan(query)
+
+    def explain(self, query, boundary_policy: str | None = None) -> str:
+        """The plan rendering (estimates only) for a query."""
+        return self.plan(query, boundary_policy=boundary_policy).explain()
+
+    def query(
+        self,
+        query,
+        *,
+        materialize_result: bool | None = None,
+        boundary_policy: str | None = None,
+        max_workers: int | None = None,
+    ) -> QueryResult | ShardedQueryResult:
+        """Plan (when needed) and execute a query.
+
+        ``query`` may be a :class:`~repro.query.logical.Query`, a bare
+        logical node, or an already-planned physical plan (single-device
+        or sharded).  Keyword overrides apply to this call only.
+        """
+        policy = boundary_policy or self.boundary_policy
+        materialize = (
+            self.materialize_result
+            if materialize_result is None
+            else materialize_result
+        )
+        shard_set = self._route(query)
+        if shard_set is not None:
+            if materialize:
+                raise ConfigurationError(
+                    "materialize_result is not supported on sharded queries: "
+                    "the sharded executor merges shard outputs in DRAM"
+                )
+            executor = ShardedQueryExecutor(
+                shard_set,
+                self.budget,
+                bufferpool=self.bufferpool,
+                max_workers=max_workers,
+                boundary_policy=policy,
+            )
+            return executor.execute(query)
+        executor = QueryExecutor(
+            self.backend,
+            self.budget,
+            bufferpool=self.bufferpool,
+            materialize_result=materialize,
+            boundary_policy=policy,
+        )
+        return executor.execute(query)
+
+    def _route(self, query) -> Optional[ShardSet]:
+        """The shard set a query must run on, or ``None`` for single-device."""
+        if getattr(query, "is_sharded_plan", False):
+            return self._check_shard_set(query.shard_set)
+        node = query.node if isinstance(query, Query) else query
+        sharded = (
+            find_sharded_collections(node) if hasattr(node, "children") else []
+        )
+        if sharded:
+            return self._check_shard_set(sharded[0].shard_set)
+        if self.shard_set is not None:
+            # A query with no sharded scans cannot run on a sharded
+            # session -- there is no single backend to use.
+            raise ConfigurationError(
+                "this session runs on a ShardSet, but the query scans no "
+                "sharded collections; load the inputs into a "
+                "ShardedCollection on the session's shard set"
+            )
+        return None
+
+    def _check_shard_set(self, shard_set: ShardSet) -> ShardSet:
+        if self.shard_set is not None and shard_set is not self.shard_set:
+            raise ConfigurationError(
+                "the query's sharded collections live on a different shard "
+                "set than this session's"
+            )
+        return shard_set
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        target = (
+            f"shards={self.shard_set.num_shards}"
+            if self.shard_set is not None
+            else f"backend={self.backend.name!r}"
+        )
+        return (
+            f"Session({target}, budget={self.budget.nbytes}B, "
+            f"boundary_policy={self.boundary_policy!r})"
+        )

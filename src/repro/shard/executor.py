@@ -109,6 +109,7 @@ class ShardedQueryExecutor:
         budget: MemoryBudget,
         bufferpool: Bufferpool | None = None,
         max_workers: int | None = None,
+        boundary_policy: str = "cost",
     ) -> None:
         if max_workers is not None and max_workers <= 0:
             raise ConfigurationError("max_workers must be positive")
@@ -116,6 +117,7 @@ class ShardedQueryExecutor:
         self.budget = budget
         self.bufferpool = bufferpool if bufferpool is not None else Bufferpool(budget)
         self.max_workers = max_workers
+        self.boundary_policy = boundary_policy
 
     def execute(self, query) -> ShardedQueryResult:
         """Plan (when needed) and run a sharded query."""
@@ -128,7 +130,9 @@ class ShardedQueryExecutor:
                     "on the wrong devices"
                 )
         else:
-            plan = ShardedPlanner(self.shard_set, self.budget).plan(query)
+            plan = ShardedPlanner(
+                self.shard_set, self.budget, boundary_policy=self.boundary_policy
+            ).plan(query)
         num_shards = plan.num_shards
         workers = min(self.max_workers or num_shards, num_shards)
         shares: list[Bufferpool] = []
@@ -322,7 +326,15 @@ def execute_sharded_query(
     bufferpool: Bufferpool | None = None,
     max_workers: int | None = None,
 ) -> ShardedQueryResult:
-    """Plan and execute a sharded ``query`` in one call."""
+    """Deprecated shorthand; use :class:`repro.session.Session` instead."""
+    import warnings
+
+    warnings.warn(
+        "repro.shard.execute_sharded_query() is deprecated; use "
+        "repro.Session(shard_set, budget).query(...) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     executor = ShardedQueryExecutor(
         shard_set, budget, bufferpool=bufferpool, max_workers=max_workers
     )

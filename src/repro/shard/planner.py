@@ -186,17 +186,23 @@ class ShardedPhysicalPlan:
         )
         lines.append(f"merge: {merge_text}")
         summary = (
-            f"critical path: est {to_wcl(self.estimated_critical_path_ns):.0f} wcl"
-            f" | summed shards: est {to_wcl(self.estimated_total_ns):.0f} wcl"
+            f"critical path: est {to_wcl(self.estimated_critical_path_ns):.0f} wcl,"
+            f" {self.estimated_critical_path_ns:.0f} ns"
+            f" | summed shards: est {to_wcl(self.estimated_total_ns):.0f} wcl,"
+            f" {self.estimated_total_ns:.0f} ns"
         )
         if result is not None:
             actual_critical = result.critical_path_ns
             actual_total = sum(io.total_ns for io in result.per_shard_io)
             summary = (
                 f"critical path: est {to_wcl(self.estimated_critical_path_ns):.0f}"
-                f" / actual {to_wcl(actual_critical):.0f} wcl"
+                f" / actual {to_wcl(actual_critical):.0f} wcl,"
+                f" est {self.estimated_critical_path_ns:.0f}"
+                f" / actual {actual_critical:.0f} ns"
                 f" | summed shards: est {to_wcl(self.estimated_total_ns):.0f}"
-                f" / actual {to_wcl(actual_total):.0f} wcl"
+                f" / actual {to_wcl(actual_total):.0f} wcl,"
+                f" est {self.estimated_total_ns:.0f}"
+                f" / actual {actual_total:.0f} ns"
             )
         lines.append(summary)
         return "\n".join(lines)
@@ -254,9 +260,15 @@ class ShardedPlanner:
             through parent/child bufferpool accounting.
     """
 
-    def __init__(self, shard_set: ShardSet, budget: MemoryBudget) -> None:
+    def __init__(
+        self,
+        shard_set: ShardSet,
+        budget: MemoryBudget,
+        boundary_policy: str = "cost",
+    ) -> None:
         self.shard_set = shard_set
         self.budget = budget
+        self.boundary_policy = boundary_policy
         num_shards = shard_set.num_shards
         self.shard_budget = MemoryBudget(
             max(budget.nbytes // num_shards, 1),
@@ -469,6 +481,7 @@ class ShardedPlanner:
         """Cut the per-shard subtrees at an exchange; returns dest scans."""
         schema = per_shard[0].output_schema()
         num_shards = self.shard_set.num_shards
+        dest_records: Optional[list[float]] = None
         if all(isinstance(node, Scan) for node in per_shard):
             # Bare scans: the exchange reads the materialized shards
             # directly, charging the source devices.
@@ -482,6 +495,15 @@ class ShardedPlanner:
                 self._scan_ns(records, schema, backend)
                 for records, backend in zip(shard_records, self.shard_set.backends)
             ]
+            if all(node.est_records is None for node in per_shard):
+                # The source shards are already materialized, so instead of
+                # assuming a uniform 1/N spread the planner routes the
+                # actual records through the exchange partitioner and
+                # prices each destination's write with its true share --
+                # skewed exchanges now show a skewed critical path.
+                dest_records = self._route_destination_counts(
+                    sources, partitioner, num_shards
+                )
         else:
             # The producing fragments pipeline their DRAM roots straight
             # into the exchange, so the read side is free.
@@ -493,7 +515,8 @@ class ShardedPlanner:
             ]
             est_read_ns = [0.0] * num_shards
         est_records = float(sum(shard_records))
-        per_dest = est_records / num_shards
+        if dest_records is None:
+            dest_records = [est_records / num_shards] * num_shards
         dests = []
         est_write_ns = []
         for index, backend in enumerate(self.shard_set.backends):
@@ -512,7 +535,9 @@ class ShardedPlanner:
                     status=CollectionStatus.MEMORY,
                 )
             )
-            est_write_ns.append(output_write_cost_ns(backend, per_dest, schema))
+            est_write_ns.append(
+                output_write_cost_ns(backend, dest_records[index], schema)
+            )
         step = ExchangeStep(
             index=len(self._steps),
             partitioner=partitioner,
@@ -527,13 +552,37 @@ class ShardedPlanner:
         )
         self._steps.append(step)
         self._exchange_counter += 1
-        return [Scan(dest, est_records=per_dest) for dest in dests]
+        return [
+            Scan(dest, est_records=records)
+            for dest, records in zip(dests, dest_records)
+        ]
+
+    @staticmethod
+    def _route_destination_counts(
+        sources: list[PersistentCollection],
+        partitioner: Partitioner,
+        num_shards: int,
+    ) -> list[float]:
+        """Actual per-destination record counts of one exchange.
+
+        Plan-time routing touches only the in-DRAM record payloads
+        (``records`` is the no-charge accessor), so pricing with the true
+        distribution costs no simulated I/O.
+        """
+        counts = [0.0] * num_shards
+        shard_of = partitioner.shard_of
+        for collection in sources:
+            for record in collection.records:
+                counts[shard_of(record)] += 1.0
+        return counts
 
     def _add_fragment_step(
         self, per_shard: list[LogicalNode], label: str
     ) -> FragmentStep:
         fragments = [
-            CostBasedPlanner(backend, self.shard_budget).plan(node)
+            CostBasedPlanner(
+                backend, self.shard_budget, boundary_policy=self.boundary_policy
+            ).plan(node)
             for backend, node in zip(self.shard_set.backends, per_shard)
         ]
         step = FragmentStep(index=len(self._steps), fragments=fragments, label=label)

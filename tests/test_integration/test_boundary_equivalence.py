@@ -1,0 +1,138 @@
+"""Result equivalence across boundary policies.
+
+Seeded property tests: for Filter/Join/GroupBy/OrderBy plans, pipelined
+and deferred executions must return record-identical results to the
+materialize-everything execution -- on all four persistence backends,
+single-device and 2-shard.
+"""
+
+import random
+
+import pytest
+
+from repro.pmem.backends import BACKEND_REGISTRY, make_backend
+from repro.pmem.device import PersistentMemoryDevice
+from repro.query import Query
+from repro.session import Session
+from repro.shard import ShardSet, ShardedCollection
+from repro.storage.bufferpool import MemoryBudget
+from repro.storage.schema import WISCONSIN_SCHEMA
+from repro.workloads.generator import load_collection
+
+BACKENDS = sorted(BACKEND_REGISTRY)
+POLICIES = ("pipeline", "defer", "cost")
+LEFT_RECORDS = 80
+RIGHT_RECORDS = 400
+
+
+def predicate(record):
+    return record[0] % 3 != 0
+
+
+QUERIES = {
+    "filter": lambda left, right: (
+        Query.scan(left).filter(predicate, selectivity=0.66).project(0, 2)
+    ),
+    "join": lambda left, right: (
+        Query.scan(left)
+        .filter(predicate, selectivity=0.66)
+        .join(Query.scan(right))
+    ),
+    "group_by": lambda left, right: (
+        Query.scan(left)
+        .filter(predicate, selectivity=0.66)
+        .join(Query.scan(right))
+        .group_by(1, {"count": 1, "sum": 0}, estimated_groups=40)
+    ),
+    "order_by": lambda left, right: (
+        Query.scan(left)
+        .filter(predicate, selectivity=0.66)
+        .join(Query.scan(right))
+        .order_by()
+    ),
+}
+
+
+def seeded_keys(seed):
+    rng = random.Random(seed)
+    left = [rng.randrange(LEFT_RECORDS) for _ in range(LEFT_RECORDS)]
+    right = [rng.randrange(LEFT_RECORDS) for _ in range(RIGHT_RECORDS)]
+    return left, right
+
+
+def single_device_inputs(backend_name, seed):
+    backend = make_backend(backend_name, PersistentMemoryDevice())
+    left_keys, right_keys = seeded_keys(seed)
+    left = load_collection(
+        (WISCONSIN_SCHEMA.make_record(k) for k in left_keys), backend, "L"
+    )
+    right = load_collection(
+        (WISCONSIN_SCHEMA.make_record(k) for k in right_keys), backend, "R"
+    )
+    return backend, left, right
+
+
+def sharded_inputs(backend_name, seed):
+    shard_set = ShardSet.create(2, backend_name=backend_name)
+    left_keys, right_keys = seeded_keys(seed)
+    left = ShardedCollection("L", shard_set)
+    left.extend(WISCONSIN_SCHEMA.make_record(k) for k in left_keys)
+    left.seal()
+    right = ShardedCollection("R", shard_set)
+    right.extend(WISCONSIN_SCHEMA.make_record(k) for k in right_keys)
+    right.seal()
+    return shard_set, left, right
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+@pytest.mark.parametrize("query_name", sorted(QUERIES))
+@pytest.mark.parametrize("seed", (3, 11))
+def test_single_device_policies_match_materialized(
+    backend_name, query_name, seed
+):
+    backend, left, right = single_device_inputs(backend_name, seed)
+    session = Session(backend, MemoryBudget.fraction_of(left, 0.10))
+    build = QUERIES[query_name]
+    baseline = session.query(
+        build(left, right), boundary_policy="materialize"
+    )
+    for policy in POLICIES:
+        result = session.query(build(left, right), boundary_policy=policy)
+        assert result.records == baseline.records, (policy, query_name)
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+@pytest.mark.parametrize("query_name", sorted(QUERIES))
+@pytest.mark.parametrize("seed", (5,))
+def test_two_shard_policies_match_materialized(backend_name, query_name, seed):
+    shard_set, left, right = sharded_inputs(backend_name, seed)
+    session = Session(shard_set, MemoryBudget.fraction_of(left, 0.10))
+    build = QUERIES[query_name]
+    baseline = session.query(
+        build(left, right), boundary_policy="materialize"
+    )
+    for policy in POLICIES:
+        result = session.query(build(left, right), boundary_policy=policy)
+        assert result.records == baseline.records, (policy, query_name)
+
+
+@pytest.mark.parametrize("seed", (7,))
+def test_sharded_policies_match_single_device(seed):
+    """Cross-topology: 2-shard results are a permutation of single-device."""
+    backend, left, right = single_device_inputs("blocked_memory", seed)
+    single = Session(backend, MemoryBudget.fraction_of(left, 0.10))
+    shard_set, sharded_left, sharded_right = sharded_inputs(
+        "blocked_memory", seed
+    )
+    sharded = Session(shard_set, MemoryBudget.fraction_of(sharded_left, 0.10))
+    for policy in ("materialize",) + POLICIES:
+        single_result = single.query(
+            QUERIES["join"](left, right), boundary_policy=policy
+        )
+        sharded_result = sharded.query(
+            QUERIES["join"](sharded_left, sharded_right),
+            boundary_policy=policy,
+        )
+        assert sorted(single_result.records) == sorted(
+            sharded_result.records
+        ), policy

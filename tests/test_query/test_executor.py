@@ -4,7 +4,8 @@ import pytest
 
 from repro.bench.harness import budget_for, make_environment
 from repro.exceptions import BufferpoolExhaustedError
-from repro.query import CostBasedPlanner, Query, QueryExecutor, execute_query
+from repro.query import CostBasedPlanner, Query, QueryExecutor
+from repro.session import Session
 from repro.storage.bufferpool import Bufferpool, MemoryBudget
 from repro.workloads.generator import make_join_inputs, make_sort_input
 
@@ -23,16 +24,12 @@ def brute_force_join(left_records, right_records):
 
 class TestWisconsinCorrectness:
     def test_order_by_matches_sorted(self, backend, small_sort_input, sort_budget):
-        result = execute_query(
-            Query.scan(small_sort_input).order_by(), backend, sort_budget
-        )
+        result = Session(backend, sort_budget).query(Query.scan(small_sort_input).order_by())
         assert result.records == sorted(small_sort_input.records)
         assert result.output.is_sorted()
 
     def test_order_by_non_key_attribute(self, backend, small_sort_input, sort_budget):
-        result = execute_query(
-            Query.scan(small_sort_input).order_by(key_index=3), backend, sort_budget
-        )
+        result = Session(backend, sort_budget).query(Query.scan(small_sort_input).order_by(key_index=3))
         assert [r[3] for r in result.records] == sorted(
             r[3] for r in small_sort_input.records
         )
@@ -43,7 +40,7 @@ class TestWisconsinCorrectness:
             .filter(lambda r: r[0] % 2 == 0, selectivity=0.5)
             .project(0, 4)
         )
-        result = execute_query(query, backend, sort_budget)
+        result = Session(backend, sort_budget).query(query)
         expected = [
             (r[0], r[4]) for r in small_sort_input.records if r[0] % 2 == 0
         ]
@@ -58,7 +55,7 @@ class TestWisconsinCorrectness:
             .join(Query.scan(right))
             .order_by()
         )
-        result = execute_query(query, backend, budget)
+        result = Session(backend, budget).query(query)
         expected = brute_force_join(
             [r for r in left.records if r[0] < 75], right.records
         )
@@ -86,7 +83,7 @@ class TestWisconsinCorrectness:
         query = Query.scan(small_sort_input).group_by(
             1, {"count": 1, "sum": 0}, estimated_groups=estimated_groups
         )
-        result = execute_query(query, backend, sort_budget)
+        result = Session(backend, sort_budget).query(query)
         expected = {}
         for record in small_sort_input.records:
             count, total = expected.get(record[1], (0, 0))
@@ -106,18 +103,20 @@ class TestExecutionReporting:
             .join(Query.scan(right))
             .order_by()
         )
-        result = execute_query(query, backend, budget)
+        result = Session(backend, budget).query(query)
         lines = result.explain().splitlines()
-        node_lines = lines[1:]  # first line is the plan header
+        # First line is the plan header, last the total summary.
+        node_lines = lines[1:-1]
         assert len(node_lines) == 5  # OrderBy, Join, Filter, Scan, Scan
         for line in node_lines:
             assert "est" in line
             assert "actual" in line
+            assert "ns" in line
+        assert lines[-1].startswith("total: est ")
+        assert "actual" in lines[-1]
 
     def test_per_node_io_sums_to_total(self, backend, small_sort_input, sort_budget):
-        result = execute_query(
-            Query.scan(small_sort_input).order_by(), backend, sort_budget
-        )
+        result = Session(backend, sort_budget).query(Query.scan(small_sort_input).order_by())
         per_node = sum(
             execution.io.total_ns for execution in result.executions.values()
         )
@@ -126,23 +125,14 @@ class TestExecutionReporting:
     def test_root_output_stays_in_dram_by_default(
         self, backend, small_sort_input, sort_budget
     ):
-        result = execute_query(
-            Query.scan(small_sort_input).order_by(), backend, sort_budget
-        )
+        result = Session(backend, sort_budget).query(Query.scan(small_sort_input).order_by())
         assert result.output.is_memory
 
     def test_materialize_result_charges_output_writes(
         self, backend, small_sort_input, sort_budget
     ):
-        pipelined = execute_query(
-            Query.scan(small_sort_input).order_by(), backend, sort_budget
-        )
-        materialized = execute_query(
-            Query.scan(small_sort_input).order_by(),
-            backend,
-            sort_budget,
-            materialize_result=True,
-        )
+        pipelined = Session(backend, sort_budget).query(Query.scan(small_sort_input).order_by())
+        materialized = Session(backend, sort_budget).query(Query.scan(small_sort_input).order_by(), materialize_result=True)
         assert materialized.output.is_materialized
         assert (
             materialized.io.cacheline_writes > pipelined.io.cacheline_writes

@@ -99,7 +99,9 @@ class TestModelPricing:
 
 
 class TestPlanStructure:
-    def test_root_is_pipelined_intermediates_are_materialized(self, backend):
+    def test_root_is_pipelined_and_legacy_policy_materializes_intermediates(
+        self, backend
+    ):
         left, right = make_join_inputs(200, 2_000, backend)
         budget = budget_for(left, 0.10)
         query = (
@@ -108,13 +110,24 @@ class TestPlanStructure:
             .join(Query.scan(right))
             .order_by()
         )
-        plan = CostBasedPlanner(backend, budget).plan(query)
+        plan = CostBasedPlanner(
+            backend, budget, boundary_policy="materialize"
+        ).plan(query)
         order_by = plan.root
         join = order_by.children[0]
         filter_node = join.children[0]
         assert not order_by.materialized
         assert join.materialized
         assert filter_node.materialized
+        # The default cost policy still pipelines/defers at least one edge
+        # on this plan shape (the filter edge beats its settlement write).
+        costed = CostBasedPlanner(backend, budget).plan(query)
+        non_root = [
+            node
+            for node in costed.root.walk()
+            if node is not costed.root and node.children
+        ]
+        assert any(not node.materialized for node in non_root)
 
     def test_join_puts_smaller_estimated_input_on_build_side(self, backend):
         left, right = make_join_inputs(200, 2_000, backend)

@@ -11,7 +11,8 @@ import os
 import pathlib
 
 from repro.query import Query
-from repro.shard import ShardSet, execute_sharded_query
+from repro.session import Session
+from repro.shard import ShardSet
 from repro.storage.bufferpool import MemoryBudget
 from repro.workloads.generator import make_sharded_join_inputs
 
@@ -23,8 +24,8 @@ def canonical_two_shard_join_explain() -> str:
     shard_set = ShardSet.create(2)
     left, right = make_sharded_join_inputs(300, 3_000, shard_set)
     budget = MemoryBudget.fraction_of(left, 0.10)
-    result = execute_sharded_query(
-        Query.scan(left).join(Query.scan(right)), shard_set, budget
+    result = Session(shard_set, budget).query(
+        Query.scan(left).join(Query.scan(right))
     )
     return result.explain()
 

@@ -16,6 +16,7 @@ from repro.shard import (
     ShardedQueryExecutor,
     execute_sharded_query,
 )
+from repro.shard.planner import ExchangeStep
 from repro.storage.bufferpool import MemoryBudget
 from repro.storage.schema import WISCONSIN_SCHEMA
 from repro.workloads.generator import load_collection
@@ -217,12 +218,43 @@ class TestShardedDispatch:
                 Query.scan(sharded).join(Query.scan(plain))
             )
 
-    def test_execute_sharded_query_convenience(self):
+    def test_execute_sharded_query_shim_warns_and_still_works(self):
         shard_set = ShardSet.create(2)
         collection = build_sharded(shard_set, "T", list(range(32)))
-        result = execute_sharded_query(
-            Query.scan(collection).order_by(),
-            shard_set,
-            MemoryBudget.from_records(8),
-        )
+        with pytest.warns(DeprecationWarning, match="execute_sharded_query"):
+            result = execute_sharded_query(
+                Query.scan(collection).order_by(),
+                shard_set,
+                MemoryBudget.from_records(8),
+            )
         assert [record[0] for record in result.records] == sorted(range(32))
+
+    def test_exchange_pricing_uses_actual_shard_counts_under_skew(self):
+        # Every record lands on shard 0, but the group attribute routes
+        # them all to one destination: with actual routing the write-side
+        # estimate is fully concentrated instead of split 1/N.
+        shard_set = ShardSet.create(2)
+        collection = build_sharded(shard_set, "S", list(range(0, 64, 2)))
+        budget = MemoryBudget.from_records(16)
+        plan = ShardedPlanner(shard_set, budget).plan(
+            Query.scan(collection).group_by(group_index=2).node
+        )
+        exchanges = [
+            step for step in plan.steps if isinstance(step, ExchangeStep)
+        ]
+        assert exchanges, "a non-key group attribute must force an exchange"
+        exchange = exchanges[0]
+        routed = [0, 0]
+        for record in collection.records:
+            routed[exchange.partitioner.shard_of(record)] += 1
+        total = sum(routed)
+        expected = [
+            routed[i] / total * sum(exchange.est_write_ns)
+            for i in range(2)
+        ]
+        for est, want in zip(exchange.est_write_ns, expected):
+            assert est == pytest.approx(want, rel=0.05)
+        # The destination scans carry the routed counts, not total/N.
+        assert exchange.est_write_ns[0] != pytest.approx(
+            exchange.est_write_ns[1]
+        ) or routed[0] == routed[1]
