@@ -37,8 +37,8 @@ def run_on(write_ns: float) -> None:
         .order_by()
     )
 
-    session = Session(env.backend, budget)
-    result = session.query(query)
+    with Session(env.backend, budget) as session:
+        result = session.query(query)
     assert result.output.is_sorted()
 
     print(result.explain())

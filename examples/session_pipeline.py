@@ -45,7 +45,6 @@ def main() -> None:
     env = make_environment("blocked_memory", write_ns=150.0)
     orders, lineitems = make_join_inputs(LEFT, RIGHT, env.backend)
     budget = MemoryBudget.fraction_of(orders, FRACTION)
-    session = Session(env.backend, budget)
 
     print(
         f"device: read 10 ns, write 150 ns "
@@ -53,32 +52,33 @@ def main() -> None:
         f"budget = {budget.buffers:.0f} cachelines\n"
     )
 
-    # Cost-priced boundaries (the default policy).
-    costed = session.query(build_query(orders, lineitems))
-    print("=== cost-priced boundaries ===")
-    print(costed.explain())
+    with Session(env.backend, budget) as session:
+        # Cost-priced boundaries (the default policy).
+        costed = session.query(build_query(orders, lineitems))
+        print("=== cost-priced boundaries ===")
+        print(costed.explain())
 
-    deferred_edges = [
-        execution
-        for execution in costed.executions.values()
-        if execution.details.get("deferred")
-    ]
-    assert deferred_edges, "the filter edge should defer at lambda = 15"
-    context = costed.runtime_context
-    for execution in deferred_edges:
-        name = execution.output.name
-        print(
-            f"\ndeferred intermediate {name!r}: re-derived "
-            f"{context.reconstruction_count(name)}x through the runtime "
-            f"graph, {execution.records} records, zero settlement writes"
+        deferred_edges = [
+            execution
+            for execution in costed.executions.values()
+            if execution.details.get("deferred")
+        ]
+        assert deferred_edges, "the filter edge should defer at lambda = 15"
+        context = costed.runtime_context
+        for execution in deferred_edges:
+            name = execution.output.name
+            print(
+                f"\ndeferred intermediate {name!r}: re-derived "
+                f"{context.reconstruction_count(name)}x through the runtime "
+                f"graph, {execution.records} records, zero settlement writes"
+            )
+
+        # The legacy behavior for comparison: settle every intermediate.
+        materialized = session.query(
+            build_query(orders, lineitems), boundary_policy="materialize"
         )
-
-    # The legacy behavior for comparison: settle every intermediate.
-    materialized = session.query(
-        build_query(orders, lineitems), boundary_policy="materialize"
-    )
-    print("\n=== materialize-everything (legacy) ===")
-    print(materialized.explain())
+        print("\n=== materialize-everything (legacy) ===")
+        print(materialized.explain())
 
     assert costed.records == materialized.records
     lam = env.device.write_read_ratio

@@ -49,7 +49,8 @@ def run_single_device():
     env = make_environment("blocked_memory")
     orders, lineitems = make_join_inputs(LEFT, RIGHT, env.backend)
     budget = MemoryBudget.fraction_of(orders, FRACTION)
-    result = Session(env.backend, budget).query(build_query(orders, lineitems))
+    with Session(env.backend, budget) as session:
+        result = session.query(build_query(orders, lineitems))
     print("=== single device ===")
     print(result.explain())
     print(
@@ -69,7 +70,8 @@ def run_sharded(repartition: bool):
         LEFT, RIGHT, shard_set, right_partitioner=right_partitioner
     )
     budget = MemoryBudget.fraction_of(orders, FRACTION)
-    result = Session(shard_set, budget).query(build_query(orders, lineitems))
+    with Session(shard_set, budget) as session:
+        result = session.query(build_query(orders, lineitems))
     title = "repartition exchange" if repartition else "partition-wise"
     print(f"=== {SHARDS} shards ({title}) ===")
     print(result.explain())

@@ -47,7 +47,17 @@ The package is organized as follows:
     (or shard set), the DRAM budget and the shared bufferpool, routing
     queries to the single-device or sharded executor through the uniform
     physical-operator protocol with per-edge materialize / pipeline /
-    defer boundary decisions.
+    defer boundary decisions.  ``Session.submit()`` /
+    ``Session.run_workload()`` expose the concurrent workload lifecycle;
+    ``Session.query()`` is sugar over ``submit(...).result()``.
+
+``repro.workload_mgmt``
+    Multi-query workload management: admission control carving each
+    admitted query a child bufferpool share sized from the planner's
+    memory estimate (queue / shed / degrade policies on exhaustion), a
+    scheduler co-scheduling fragments from different queries on one
+    serial worker per simulated device, query handles, workload reports
+    and the cost-model calibration aggregator.
 
 ``repro.workloads``
     Wisconsin-benchmark-style input generators.
@@ -113,6 +123,17 @@ from repro.shard import (
     execute_sharded_query,
 )
 from repro.session import Session
+from repro.workload_mgmt import (
+    ADMISSION_POLICIES,
+    AdmissionController,
+    AdmissionPolicy,
+    CalibrationAggregator,
+    DeviceWorkerPool,
+    QueryHandle,
+    QueryStatus,
+    WorkloadResult,
+    WorkloadScheduler,
+)
 
 __version__ = "1.0.0"
 
@@ -153,6 +174,15 @@ __all__ = [
     "QueryExecutor",
     "QueryResult",
     "Session",
+    "QueryHandle",
+    "QueryStatus",
+    "WorkloadResult",
+    "WorkloadScheduler",
+    "AdmissionController",
+    "AdmissionPolicy",
+    "ADMISSION_POLICIES",
+    "CalibrationAggregator",
+    "DeviceWorkerPool",
     "execute_query",
     "ShardSet",
     "ShardedCollection",

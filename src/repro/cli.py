@@ -8,14 +8,19 @@ Usage::
     python -m repro table 1
     python -m repro query join-sort --write-ns 300
     python -m repro query join --shards 4
+    python -m repro workload --policy queue --concurrency 3
 
 Every ``figure``/``table`` subcommand drives the same experiment
 definitions as the ``benchmarks/`` directory and prints the series/rows
 the corresponding figure plots.  The ``query`` subcommand runs canned
 Wisconsin-workload queries through the cost-based planner and executor
 (:mod:`repro.query`) and prints the plan with estimated vs. actual I/O
-per node.  The CLI exists so experiments can be re-run (and redirected
-to files) without pytest.
+per node.  The ``workload`` subcommand submits a canned mix of
+single-device and sharded queries through the concurrent workload API
+(:mod:`repro.workload_mgmt`) under a budget that admits only a few at a
+time, and prints the admission/timing report plus the session's
+cost-model calibration table.  The CLI exists so experiments can be
+re-run (and redirected to files) without pytest.
 """
 
 from __future__ import annotations
@@ -347,6 +352,98 @@ def _run_query(args) -> str:
     return "\n".join(lines)
 
 
+# --------------------------------------------------------------------- #
+# Canned concurrent workload through the admission-controlled Session.
+# --------------------------------------------------------------------- #
+def _run_workload(args) -> str:
+    from repro.shard import ShardSet
+    from repro.storage.collection import PersistentCollection
+    from repro.storage.schema import WISCONSIN_SCHEMA
+    from repro.workloads.generator import (
+        make_sharded_join_inputs,
+        make_sharded_sort_input,
+    )
+
+    if args.shards < 2:
+        raise SystemExit("--shards must be at least 2 for a mixed workload")
+    if args.concurrency < 1:
+        raise SystemExit("--concurrency must be at least 1")
+    shard_set = ShardSet.create(
+        args.shards, backend_name=args.backend, write_ns=args.write_ns
+    )
+    sort_input = make_sharded_sort_input(args.records, shard_set, name="T")
+    left, right = make_sharded_join_inputs(
+        max(args.records // 4, 8), args.records, shard_set
+    )
+    plains = []
+    for index in range(args.shards):
+        plain = PersistentCollection(
+            name=f"P{index}",
+            backend=shard_set.backends[index],
+            schema=WISCONSIN_SCHEMA,
+        )
+        plain.extend(
+            WISCONSIN_SCHEMA.make_record(key)
+            for key in range(args.records // 2)
+        )
+        plain.seal()
+        plains.append(plain)
+    half = args.records // 2
+    items = [
+        {"query": Query.scan(sort_input).order_by(), "tag": "shard-sort"},
+        {"query": Query.scan(left).join(Query.scan(right)), "tag": "shard-join"},
+        {
+            "query": Query.scan(sort_input).group_by(
+                1, {"count": 1, "sum": 0}, estimated_groups=half
+            ),
+            "tag": "shard-agg",
+        },
+        {
+            "query": Query.scan(sort_input)
+            .filter(lambda r, b=half: r[0] < b, selectivity=0.5)
+            .order_by(),
+            "tag": "shard-filter-sort",
+        },
+    ]
+    for index, plain in enumerate(plains):
+        bound = len(plain) // 2
+        items.append(
+            {
+                "query": Query.scan(plain).filter(
+                    lambda r, b=bound: r[0] < b, selectivity=0.5
+                ),
+                "tag": f"plain{index}-filter",
+            }
+        )
+        items.append(
+            {
+                "query": Query.scan(plain).group_by(
+                    1, {"count": 1}, estimated_groups=bound
+                ),
+                "tag": f"plain{index}-agg",
+            }
+        )
+    # A budget that admits ``--concurrency`` equal per-query requests.
+    budget_bytes = args.concurrency * max(
+        4 * 1024, (sort_input.nbytes // args.shards)
+    )
+    share_bytes = budget_bytes // args.concurrency
+    for item in items:
+        item["memory_bytes"] = share_bytes
+    with Session(shard_set, MemoryBudget.from_bytes(budget_bytes)) as session:
+        report = session.run_workload(items, policy=args.policy)
+        lines = [
+            f"{len(items)} queries over {args.shards} shards, budget "
+            f"{budget_bytes} B, per-query request {share_bytes} B "
+            f"(admits {args.concurrency} at a time), policy={args.policy}",
+            "",
+            report.explain(),
+            "",
+            session.calibration_report(),
+        ]
+    return "\n".join(lines)
+
+
 FIGURES = {
     2: ("Hybrid Grace/nested-loops cost surface", _run_figure2),
     5: ("Sort response time and I/O vs memory", _run_figure5),
@@ -434,6 +531,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     query.add_argument("--output", type=str, default=None)
 
+    workload = subparsers.add_parser(
+        "workload",
+        help="run a canned concurrent workload through admission control",
+    )
+    workload.add_argument(
+        "--policy",
+        choices=("queue", "shed", "degrade"),
+        default="queue",
+        help="what happens to queries the bufferpool cannot admit",
+    )
+    workload.add_argument(
+        "--concurrency",
+        type=int,
+        default=3,
+        help="how many equal per-query memory requests fit the budget",
+    )
+    workload.add_argument(
+        "--shards", type=int, default=2, help="simulated devices (>= 2)"
+    )
+    workload.add_argument(
+        "--records", type=int, default=1_200, help="sharded input records"
+    )
+    workload.add_argument(
+        "--backend",
+        choices=("blocked_memory", "pmfs", "ramdisk", "dynamic_array"),
+        default="blocked_memory",
+    )
+    workload.add_argument(
+        "--write-ns",
+        type=float,
+        default=150.0,
+        help="device write latency (reads are 10 ns; sets lambda)",
+    )
+    workload.add_argument("--output", type=str, default=None)
+
     return parser
 
 
@@ -485,10 +617,21 @@ def main(argv: list[str] | None = None) -> int:
         lines.append("Planned queries (cost-based operator selection):")
         for name, (description, _) in sorted(QUERIES.items()):
             lines.append(f"  query  {name:<12s} {description}")
+        lines.append(
+            "Concurrent workloads (admission control over the session "
+            "bufferpool):"
+        )
+        lines.append(
+            "  workload            mixed single-device + sharded queries; "
+            "--policy queue|shed|degrade"
+        )
         print("\n".join(lines))
         return 0
     if args.command == "query":
         _emit(_run_query(args), args.output)
+        return 0
+    if args.command == "workload":
+        _emit(_run_workload(args), args.output)
         return 0
     if args.command == "figure":
         _, runner = FIGURES[args.number]

@@ -24,6 +24,19 @@ class BufferpoolExhaustedError(ReproError):
     """A bufferpool reservation exceeded the configured DRAM budget."""
 
 
+class AdmissionRejectedError(BufferpoolExhaustedError):
+    """A submitted query was shed by the workload admission controller.
+
+    Subclasses :class:`BufferpoolExhaustedError` because shedding is the
+    admission-control outcome of DRAM exhaustion: callers that handled
+    the raw bufferpool error keep working against the workload API.
+    """
+
+
+class QueryCancelledError(ReproError):
+    """A queued query was cancelled before it started running."""
+
+
 class CollectionStateError(ReproError):
     """A persistent collection was used in a way its state does not allow.
 

@@ -1,50 +1,87 @@
-"""The top-level Session facade: one front door for planned queries.
+"""The top-level Session facade: a concurrent workload front door.
 
 A :class:`Session` owns the pieces that used to be wired up by hand at
 every call site -- the persistence backend (or
 :class:`~repro.shard.collection.ShardSet`), the DRAM
 :class:`~repro.storage.bufferpool.MemoryBudget` and the shared
-:class:`~repro.storage.bufferpool.Bufferpool` -- and routes queries to
-the right executor through the uniform physical-operator protocol::
+:class:`~repro.storage.bufferpool.Bufferpool` -- plus the
+:mod:`~repro.workload_mgmt` machinery that lets many queries share them
+safely::
 
     from repro import MemoryBudget, Query, Session
 
-    session = Session(backend, MemoryBudget.from_records(64))
-    result = session.query(
-        Query.scan(orders).filter(pred, selectivity=0.5).join(Query.scan(items))
-    )
-    print(result.explain())          # boundary decisions per edge
+    with Session(backend, MemoryBudget.from_records(64)) as session:
+        handle = session.submit(          # non-blocking
+            Query.scan(orders).filter(pred, selectivity=0.5),
+            priority=1, tag="orders-filter",
+        )
+        other = session.submit(Query.scan(items).order_by(), tag="sort")
+        print(handle.status)              # queued / running / done / ...
+        result = handle.result()          # block for this one query
+        report = session.run_workload(    # submit a batch, wait for all
+            [q1, q2, q3], policy="queue"
+        )
+        print(report.explain())           # queue-wait vs. run ns per query
 
-Single-device queries run through
-:class:`~repro.query.executor.QueryExecutor`; queries over sharded
-collections (or a session built on a ``ShardSet``) run through
-:class:`~repro.shard.executor.ShardedQueryExecutor`.  Both share the
-session's bufferpool, so successive (and sharded-concurrent) queries are
-accounted against one DRAM budget -- the hook for multi-query admission
-control.
+Every submitted query is *admitted* before it runs: the admission
+controller carves it a child ``Bufferpool.share()`` sized from the
+planner's memory estimate, so concurrently running queries can never
+jointly exceed the session budget.  When the pool is exhausted the
+admission policy decides -- ``queue`` (wait, FIFO within a priority
+level), ``shed`` (reject with
+:class:`~repro.exceptions.AdmissionRejectedError`) or ``degrade``
+(replan under a smaller budget slice).  Execution is co-scheduled on one
+serial worker per simulated device, preserving per-device serialization
+*across* queries, not just within one.
+
+:meth:`Session.query` remains as sugar over ``submit(...).result()``:
+it requests the whole session budget (the single-query behavior of
+earlier revisions) and sheds instead of waiting, so exceeding the budget
+still raises.
 """
 
 from __future__ import annotations
 
+import threading
+import warnings
 from typing import Optional
 
 from repro.exceptions import ConfigurationError
 from repro.pmem.backends import make_backend
 from repro.pmem.backends.base import PersistenceBackend
 from repro.pmem.device import PersistentMemoryDevice
-from repro.query.executor import QueryExecutor, QueryResult
-from repro.query.logical import Query
+from repro.query.executor import QueryResult
+from repro.query.logical import LogicalNode, Query, Scan
 from repro.query.physical import BOUNDARY_POLICIES
-from repro.query.planner import CostBasedPlanner
+from repro.query.planner import CostBasedPlanner, PhysicalPlan
 from repro.shard.collection import ShardSet
-from repro.shard.executor import ShardedQueryExecutor, ShardedQueryResult
+from repro.shard.executor import ShardedQueryResult
 from repro.shard.planner import ShardedPlanner, find_sharded_collections
 from repro.storage.bufferpool import Bufferpool, MemoryBudget
 from repro.storage.collection import PersistentCollection
 from repro.storage.schema import Schema, WISCONSIN_SCHEMA
+from repro.workload_mgmt.admission import ADMISSION_POLICIES, resolve_policy
+from repro.workload_mgmt.calibration import CalibrationAggregator
+from repro.workload_mgmt.handle import QueryHandle
+from repro.workload_mgmt.result import WorkloadResult
+from repro.workload_mgmt.scheduler import WorkloadScheduler, _SlotGate
 
 #: Budget used when a session is created without one: 1 MiB of DRAM.
 DEFAULT_SESSION_BUDGET_BYTES = 1 << 20
+
+
+def _plain_scan_backends(node: LogicalNode) -> list[PersistenceBackend]:
+    """Backends of every non-sharded materialized scan in a logical tree."""
+    backends: list[PersistenceBackend] = []
+    if isinstance(node, Scan) and not getattr(
+        node.collection, "is_sharded", False
+    ):
+        backend = getattr(node.collection, "backend", None)
+        if backend is not None:
+            backends.append(backend)
+    for child in node.children:
+        backends.extend(_plain_scan_backends(child))
+    return backends
 
 
 class Session:
@@ -66,6 +103,14 @@ class Session:
         boundary_policy: default boundary placement for planned queries
             (``"cost"``, ``"materialize"``, ``"pipeline"`` or
             ``"defer"``).
+        admission_policy: default workload admission policy for
+            :meth:`submit` / :meth:`run_workload` (``"queue"``,
+            ``"shed"``, ``"degrade"`` or an
+            :class:`~repro.workload_mgmt.admission.AdmissionPolicy`).
+
+    Sessions are context managers: :meth:`close` drains in-flight
+    queries, releases the session bufferpool, and warns about leaked
+    reservations or unclosed shares.
     """
 
     def __init__(
@@ -76,6 +121,7 @@ class Session:
         bufferpool: Bufferpool | None = None,
         materialize_result: bool = False,
         boundary_policy: str = "cost",
+        admission_policy="queue",
     ) -> None:
         if boundary_policy not in BOUNDARY_POLICIES:
             raise ConfigurationError(
@@ -99,11 +145,17 @@ class Session:
                 "ShardSet, or backend name"
             )
         self.budget = budget or MemoryBudget(DEFAULT_SESSION_BUDGET_BYTES)
+        self._owns_bufferpool = bufferpool is None
         self.bufferpool = (
             bufferpool if bufferpool is not None else Bufferpool(self.budget)
         )
         self.materialize_result = materialize_result
         self.boundary_policy = boundary_policy
+        self.admission_policy = resolve_policy(admission_policy)
+        self.calibration = CalibrationAggregator()
+        self._scheduler: Optional[WorkloadScheduler] = None
+        self._scheduler_lock = threading.Lock()
+        self._closed = False
 
     # ------------------------------------------------------------------ #
     # Introspection.
@@ -118,6 +170,83 @@ class Session:
         if self.shard_set is not None:
             return self.shard_set.backends[0].device
         return self.backend.device
+
+    @property
+    def devices(self) -> list[PersistentMemoryDevice]:
+        """Every simulated device the session can touch, in shard order."""
+        if self.shard_set is not None:
+            return self.shard_set.devices
+        return [self.backend.device]
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle.
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Drain in-flight queries and release the session bufferpool.
+
+        Queued (not yet admitted) queries are cancelled; running ones are
+        waited for.  When the session built its own pool, leaked
+        reservations or unclosed shares left behind indicate a bug in
+        whoever carved them: they are force-released with a
+        :class:`ResourceWarning` naming the owners (so the leak fails
+        loudly without masking an in-flight exception) and the pool is
+        closed.  An *injected* pool (the ``bufferpool=`` constructor
+        argument) is left untouched -- other users may still hold live
+        reservations in it.  Idempotent; further queries raise
+        :class:`ConfigurationError`.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        with self._scheduler_lock:
+            scheduler = self._scheduler
+        if scheduler is not None:
+            scheduler.shutdown(wait=True)
+        if not self._owns_bufferpool:
+            return
+        leaked = self.bufferpool.holders()
+        if leaked:
+            holders = ", ".join(
+                f"{owner}={nbytes}B" for owner, nbytes in sorted(leaked.items())
+            )
+            warnings.warn(
+                f"Session closed with leaked bufferpool reservations "
+                f"({holders}); releasing them",
+                ResourceWarning,
+                stacklevel=2,
+            )
+            for owner in leaked:
+                self.bufferpool.release(owner)
+        self.bufferpool.close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ConfigurationError("this session is closed")
+
+    @property
+    def scheduler(self) -> WorkloadScheduler:
+        """The session's workload scheduler (created on first use)."""
+        self._check_open()
+        with self._scheduler_lock:
+            if self._scheduler is None:
+                self._scheduler = WorkloadScheduler(
+                    self.bufferpool,
+                    self.budget,
+                    self.devices,
+                    policy=self.admission_policy,
+                    calibration=self.calibration,
+                )
+            return self._scheduler
 
     # ------------------------------------------------------------------ #
     # Data helpers.
@@ -147,23 +276,162 @@ class Session:
         return collection
 
     # ------------------------------------------------------------------ #
-    # Planning and execution.
+    # Planning.
     # ------------------------------------------------------------------ #
     def plan(self, query, boundary_policy: str | None = None):
         """Plan a query without running it (single-device or sharded)."""
         policy = boundary_policy or self.boundary_policy
-        shard_set = self._route(query)
+        shard_set, backend = self._route(query)
         if shard_set is not None:
             return ShardedPlanner(
                 shard_set, self.budget, boundary_policy=policy
             ).plan(query)
         return CostBasedPlanner(
-            self.backend, self.budget, boundary_policy=policy
+            backend, self.budget, boundary_policy=policy
         ).plan(query)
 
     def explain(self, query, boundary_policy: str | None = None) -> str:
         """The plan rendering (estimates only) for a query."""
         return self.plan(query, boundary_policy=boundary_policy).explain()
+
+    # ------------------------------------------------------------------ #
+    # The workload API.
+    # ------------------------------------------------------------------ #
+    def submit(
+        self,
+        query,
+        *,
+        priority: int = 0,
+        tag: Optional[str] = None,
+        policy=None,
+        materialize_result: bool | None = None,
+        boundary_policy: str | None = None,
+        memory_bytes: Optional[int] = None,
+        _slot_gate=None,
+        _dispatch: bool = True,
+    ) -> QueryHandle:
+        """Submit a query for admission and execution; returns at once.
+
+        ``query`` may be a :class:`~repro.query.logical.Query`, a bare
+        logical node, or an already-planned physical plan.  The admission
+        controller sizes the query's DRAM share from the planner's
+        memory estimate (or ``memory_bytes`` when given, or the plan's
+        own budget for pre-planned queries), carves it out of the session
+        pool, and applies ``policy`` (the session default when omitted)
+        if the pool is exhausted.  The returned
+        :class:`~repro.workload_mgmt.handle.QueryHandle` exposes
+        ``status``, blocking ``result()``, and ``cancel()``.
+        """
+        scheduler = self.scheduler
+        handle = QueryHandle(
+            query, priority=priority, tag=tag, seq=scheduler.next_seq()
+        )
+        shard_set, backend = self._route(query)
+        handle._shard_set = shard_set
+        handle._backend = backend
+        handle._device_index = self._device_index(backend)
+        handle._boundary_policy = boundary_policy or self.boundary_policy
+        handle._materialize_result = (
+            self.materialize_result
+            if materialize_result is None
+            else materialize_result
+        )
+        if handle._materialize_result and shard_set is not None:
+            raise ConfigurationError(
+                "materialize_result is not supported on sharded queries: "
+                "the sharded executor merges shard outputs in DRAM"
+            )
+        if memory_bytes is not None and memory_bytes <= 0:
+            raise ConfigurationError("memory_bytes must be positive")
+        handle._memory_bytes = memory_bytes
+        handle._slot_gate = _slot_gate
+        return scheduler.submit(handle, policy=policy, dispatch=_dispatch)
+
+    def run_workload(
+        self,
+        queries,
+        *,
+        policy=None,
+        max_workers: Optional[int] = None,
+    ) -> WorkloadResult:
+        """Submit a batch of queries, wait for all, report the workload.
+
+        ``queries`` is an iterable whose items are queries (``Query`` /
+        logical node / plan) or per-query option mappings like
+        ``{"query": q, "priority": 2, "tag": "hot"}`` (every
+        :meth:`submit` keyword is accepted).  ``max_workers`` bounds how
+        many queries run concurrently on top of the memory-based
+        admission.  Admission decisions for the whole batch are made
+        before any query starts, so a ``shed`` policy rejects the same
+        overflow every run, deterministically.
+
+        The returned :class:`WorkloadResult` carries every handle plus
+        the workload critical path -- the busiest device's simulated time
+        over the run, i.e. the co-scheduled makespan.
+        """
+        items = [self._normalize_workload_item(item) for item in queries]
+        if not items:
+            raise ConfigurationError("run_workload needs at least one query")
+        policy_obj = (
+            resolve_policy(policy) if policy is not None else self.admission_policy
+        )
+        gate = _SlotGate(max_workers) if max_workers is not None else None
+        scheduler = self.scheduler
+        busy_before = scheduler.device_busy_ns()
+        handles: list[QueryHandle] = []
+        try:
+            for query, options in items:
+                handles.append(
+                    self.submit(
+                        query,
+                        policy=policy_obj,
+                        _slot_gate=gate,
+                        _dispatch=False,
+                        **options,
+                    )
+                )
+        except BaseException:
+            # A later item failed validation/planning: the earlier
+            # handles were admitted with dispatch deferred and would
+            # otherwise hold their bufferpool shares forever.  Cancel
+            # the still-queued ones first so that releasing the admitted
+            # shares cannot admit (and start) a member of this aborted
+            # batch; waiters from other threads still dispatch normally.
+            for handle in handles:
+                if handle._share is None:
+                    scheduler.abandon(handle)
+            for handle in handles:
+                scheduler.abandon(handle)
+            raise
+        for handle in handles:
+            scheduler.start(handle)
+        for handle in handles:
+            handle.wait()
+        busy_after = scheduler.device_busy_ns()
+        per_device = [
+            after - before for after, before in zip(busy_after, busy_before)
+        ]
+        return WorkloadResult(
+            handles=handles,
+            policy=policy_obj.name,
+            critical_path_ns=max(per_device, default=0.0),
+            per_device_busy_ns=per_device,
+        )
+
+    @staticmethod
+    def _normalize_workload_item(item):
+        if isinstance(item, dict):
+            options = dict(item)
+            try:
+                query = options.pop("query")
+            except KeyError:
+                raise ConfigurationError(
+                    "a workload item mapping needs a 'query' key"
+                ) from None
+            return query, options
+        if isinstance(item, tuple) and len(item) == 2 and isinstance(item[1], dict):
+            return item[0], dict(item[1])
+        return item, {}
 
     def query(
         self,
@@ -173,61 +441,102 @@ class Session:
         boundary_policy: str | None = None,
         max_workers: int | None = None,
     ) -> QueryResult | ShardedQueryResult:
-        """Plan (when needed) and execute a query.
+        """Plan (when needed), execute, and wait for one query.
 
-        ``query`` may be a :class:`~repro.query.logical.Query`, a bare
-        logical node, or an already-planned physical plan (single-device
-        or sharded).  Keyword overrides apply to this call only.
+        Sugar over ``submit(...).result()``: the query requests the whole
+        session budget (so plans match the single-query behavior) and is
+        shed rather than queued when the pool cannot fit it -- exceeding
+        the budget raises, as it always did.
         """
-        policy = boundary_policy or self.boundary_policy
-        materialize = (
-            self.materialize_result
-            if materialize_result is None
-            else materialize_result
-        )
-        shard_set = self._route(query)
-        if shard_set is not None:
-            if materialize:
-                raise ConfigurationError(
-                    "materialize_result is not supported on sharded queries: "
-                    "the sharded executor merges shard outputs in DRAM"
-                )
-            executor = ShardedQueryExecutor(
-                shard_set,
-                self.budget,
-                bufferpool=self.bufferpool,
-                max_workers=max_workers,
-                boundary_policy=policy,
+        if max_workers is not None:
+            raise ConfigurationError(
+                "max_workers is a workload-scheduling knob and would be "
+                "ignored here: each device runs its work serially.  Pass "
+                "it to run_workload(max_workers=...) to bound concurrent "
+                "queries, or use ShardedQueryExecutor directly to cap a "
+                "single query's in-flight shard tasks"
             )
-            return executor.execute(query)
-        executor = QueryExecutor(
-            self.backend,
-            self.budget,
-            bufferpool=self.bufferpool,
-            materialize_result=materialize,
-            boundary_policy=policy,
+        handle = self.submit(
+            query,
+            materialize_result=materialize_result,
+            boundary_policy=boundary_policy,
+            policy="shed",
+            memory_bytes=self.budget.nbytes,
         )
-        return executor.execute(query)
+        return handle.result()
 
-    def _route(self, query) -> Optional[ShardSet]:
-        """The shard set a query must run on, or ``None`` for single-device."""
+    # ------------------------------------------------------------------ #
+    # Calibration.
+    # ------------------------------------------------------------------ #
+    def calibration_report(self) -> str:
+        """Estimated vs. actual weighted cachelines per operator.
+
+        Aggregates every query the session has run (through
+        :meth:`query`, :meth:`submit` or :meth:`run_workload`) into a
+        per-operator table of estimated and measured weighted-cacheline
+        I/O and their ratio -- the correction factors the planner's
+        Section 2 models would need per operator.
+        """
+        return self.calibration.report()
+
+    # ------------------------------------------------------------------ #
+    # Routing.
+    # ------------------------------------------------------------------ #
+    def _route(
+        self, query
+    ) -> tuple[Optional[ShardSet], Optional[PersistenceBackend]]:
+        """Where a query runs: ``(shard_set, None)`` or ``(None, backend)``.
+
+        Sharded plans and queries over sharded collections run on the
+        session's shard set.  Plain queries run on the session backend;
+        on a *sharded* session they are routed to the single shard
+        backend their scanned collections live on (so mixed workloads
+        can put shard-local queries next to sharded ones), and rejected
+        when their collections live elsewhere.
+        """
         if getattr(query, "is_sharded_plan", False):
-            return self._check_shard_set(query.shard_set)
+            return self._check_shard_set(query.shard_set), None
+        if isinstance(query, PhysicalPlan):
+            backend = query.backend
+            if self.shard_set is not None and backend not in self.shard_set.backends:
+                raise ConfigurationError(
+                    "this session runs on a ShardSet, but the plan was "
+                    "built for a backend outside it"
+                )
+            return None, backend
         node = query.node if isinstance(query, Query) else query
         sharded = (
             find_sharded_collections(node) if hasattr(node, "children") else []
         )
         if sharded:
-            return self._check_shard_set(sharded[0].shard_set)
+            return self._check_shard_set(sharded[0].shard_set), None
         if self.shard_set is not None:
-            # A query with no sharded scans cannot run on a sharded
-            # session -- there is no single backend to use.
+            backends = (
+                _plain_scan_backends(node) if hasattr(node, "children") else []
+            )
+            unique = {id(backend): backend for backend in backends}
+            if len(unique) == 1:
+                (backend,) = unique.values()
+                if backend in self.shard_set.backends:
+                    return None, backend
             raise ConfigurationError(
                 "this session runs on a ShardSet, but the query scans no "
-                "sharded collections; load the inputs into a "
-                "ShardedCollection on the session's shard set"
+                "sharded collections and its inputs do not live on a "
+                "single backend of that shard set; load the inputs into a "
+                "ShardedCollection (or onto one shard backend) of the "
+                "session's shard set"
             )
-        return None
+        return None, self.backend
+
+    def _device_index(self, backend: Optional[PersistenceBackend]) -> int:
+        """Position of a backend's device in :attr:`devices` (0 default)."""
+        if backend is None:
+            return 0
+        if self.shard_set is not None:
+            for index, candidate in enumerate(self.shard_set.backends):
+                if candidate is backend:
+                    return index
+        return 0
 
     def _check_shard_set(self, shard_set: ShardSet) -> ShardSet:
         if self.shard_set is not None and shard_set is not self.shard_set:
@@ -245,5 +554,16 @@ class Session:
         )
         return (
             f"Session({target}, budget={self.budget.nbytes}B, "
-            f"boundary_policy={self.boundary_policy!r})"
+            f"boundary_policy={self.boundary_policy!r}, "
+            f"admission_policy={self.admission_policy.name!r})"
         )
+
+
+#: Re-exported for discoverability next to the Session front door.
+__all__ = [
+    "Session",
+    "QueryHandle",
+    "WorkloadResult",
+    "ADMISSION_POLICIES",
+    "DEFAULT_SESSION_BUDGET_BYTES",
+]

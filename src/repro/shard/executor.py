@@ -1,22 +1,32 @@
 """Concurrent execution of sharded physical plans.
 
-The executor walks the plan's steps in order and runs each step with one
-worker thread per shard:
+The executor walks the plan's steps in order and runs each step's
+per-shard tasks on a :class:`~repro.workload_mgmt.workers.DeviceWorkerPool`
+-- one serial worker per simulated device:
 
 * a :class:`~repro.shard.planner.FragmentStep` executes its per-shard
   physical plans through ordinary single-device
   :class:`~repro.query.executor.QueryExecutor` instances, each under that
-  shard's child share of the parent bufferpool;
+  shard's child share of the bufferpool the executor was given;
 * an :class:`~repro.shard.planner.ExchangeStep` runs in two barrier
   phases -- every source shard scans its input and buckets records by
   destination (charging reads on the source device when the input is
   materialized), then every destination shard bulk-appends its bucket
   (charging writes on the destination device).
 
-Thread-safety falls out of the step structure: within any phase each
-worker touches exactly one shard's device, so the per-device counters
-are single-threaded, and the DRAM accounting that *is* shared -- the
-parent bufferpool -- takes an internal lock.
+Thread-safety comes from the worker pool: all work touching device ``i``
+is serialized on worker ``i``, so the per-device counters are
+single-threaded *even when the pool is shared with other concurrently
+running queries* (the workload scheduler passes one pool to every
+executor).  For the same reason every task measures its own I/O with a
+device snapshot delta taken on the worker -- a task-local measurement is
+exact under co-scheduling, where a coordinator-side snapshot around a
+step would absorb interleaved work from other queries.
+
+The bufferpool handed to the executor is treated as externally owned
+(typically a per-query share carved by the admission controller): the
+executor carves per-shard child shares from it and closes only those,
+never the pool itself.
 
 The result merges the per-shard outputs (an ordered merge for a root
 OrderBy, concatenation otherwise) into one in-DRAM collection, sums the
@@ -29,7 +39,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from concurrent.futures import ThreadPoolExecutor
+import threading
 from dataclasses import dataclass, field
 
 from repro.exceptions import ConfigurationError
@@ -44,6 +54,7 @@ from repro.shard.planner import (
 )
 from repro.storage.bufferpool import Bufferpool, MemoryBudget
 from repro.storage.collection import CollectionStatus, PersistentCollection
+from repro.workload_mgmt.workers import DeviceWorkerPool
 
 _result_counter = itertools.count()
 
@@ -96,11 +107,17 @@ class ShardedQueryExecutor:
     Args:
         shard_set: the devices/backends the plan's collections live on.
         budget: parent DRAM budget shared by all concurrent fragments.
-        bufferpool: parent pool the per-shard child shares are carved
-            from; a fresh pool over ``budget`` when omitted.  Shares are
-            reserved up front, so concurrent fragments can never jointly
-            exceed the parent budget.
-        max_workers: thread-pool width; defaults to one worker per shard.
+        bufferpool: externally-owned pool (e.g. the query's admitted
+            share) the per-shard child shares are carved from; a fresh
+            pool over ``budget`` when omitted.  Shares are reserved up
+            front, so concurrent fragments can never jointly exceed it,
+            and the executor never closes the pool itself.
+        max_workers: cap on concurrently running per-shard tasks;
+            defaults to one in-flight task per shard.
+        worker_pool: a shared :class:`DeviceWorkerPool` to co-schedule
+            this query's tasks with other queries on the same devices
+            (the workload scheduler passes its own); a private pool is
+            created (and shut down) per execution when omitted.
     """
 
     def __init__(
@@ -110,6 +127,7 @@ class ShardedQueryExecutor:
         bufferpool: Bufferpool | None = None,
         max_workers: int | None = None,
         boundary_policy: str = "cost",
+        worker_pool: DeviceWorkerPool | None = None,
     ) -> None:
         if max_workers is not None and max_workers <= 0:
             raise ConfigurationError("max_workers must be positive")
@@ -118,6 +136,7 @@ class ShardedQueryExecutor:
         self.bufferpool = bufferpool if bufferpool is not None else Bufferpool(budget)
         self.max_workers = max_workers
         self.boundary_policy = boundary_policy
+        self.worker_pool = worker_pool
 
     def execute(self, query) -> ShardedQueryResult:
         """Plan (when needed) and run a sharded query."""
@@ -134,7 +153,13 @@ class ShardedQueryExecutor:
                 self.shard_set, self.budget, boundary_policy=self.boundary_policy
             ).plan(query)
         num_shards = plan.num_shards
-        workers = min(self.max_workers or num_shards, num_shards)
+        limit = None
+        if self.max_workers is not None and self.max_workers < num_shards:
+            limit = threading.BoundedSemaphore(self.max_workers)
+        pool = self.worker_pool
+        owns_pool = pool is None
+        if owns_pool:
+            pool = DeviceWorkerPool(num_shards)
         shares: list[Bufferpool] = []
         try:
             for index in range(num_shards):
@@ -143,17 +168,18 @@ class ShardedQueryExecutor:
                         nbytes=plan.shard_budget.nbytes, owner=f"shard{index}"
                     )
                 )
-            with ThreadPoolExecutor(max_workers=workers) as pool:
-                return self._run(plan, shares, pool)
+            return self._run(plan, shares, pool, limit)
         finally:
             for share in shares:
                 share.close()
+            if owns_pool:
+                pool.shutdown()
 
     # ------------------------------------------------------------------ #
     # Step execution.
     # ------------------------------------------------------------------ #
-    def _run(self, plan, shares, pool) -> ShardedQueryResult:
-        before = self.shard_set.snapshot()
+    def _run(self, plan, shares, pool, limit) -> ShardedQueryResult:
+        num_shards = plan.num_shards
         fragment_outputs: dict[int, list[PersistentCollection]] = {}
         fragment_executions: dict[int, list[dict]] = {}
         exchange_records: dict[int, int] = {}
@@ -161,35 +187,31 @@ class ShardedQueryExecutor:
         critical_ns = 0.0
         critical_cachelines = 0.0
         for step in plan.steps:
-            step_before = self.shard_set.snapshot()
             if isinstance(step, FragmentStep):
-                results = self._run_fragments(step, plan, shares, pool)
+                results = self._run_fragments(step, plan, shares, pool, limit)
                 fragment_outputs[step.index] = [r.output for r in results]
                 fragment_executions[step.index] = [r.executions for r in results]
-                deltas = [
-                    after - prior
-                    for after, prior in zip(self.shard_set.snapshot(), step_before)
-                ]
+                # A fragment's QueryResult.io is the device delta taken
+                # around its run *on its own serial worker*: exact even
+                # when other queries interleave on the devices.
+                deltas = [result.io for result in results]
                 critical_ns += critical_path_ns(deltas)
                 critical_cachelines += max(
                     delta.total_cachelines for delta in deltas
                 )
             elif isinstance(step, ExchangeStep):
-                moved, phase_ns, phase_cachelines = self._run_exchange(
-                    step, fragment_outputs, pool
+                moved, deltas, phase_ns, phase_cachelines = self._run_exchange(
+                    step, fragment_outputs, pool, limit
                 )
                 exchange_records[step.index] = moved
-                deltas = [
-                    after - prior
-                    for after, prior in zip(self.shard_set.snapshot(), step_before)
-                ]
                 critical_ns += phase_ns
                 critical_cachelines += phase_cachelines
             else:  # pragma: no cover - the planner only emits the two kinds
                 raise ConfigurationError(f"unknown plan step {type(step).__name__}")
             step_io[step.index] = deltas
         per_shard_io = [
-            after - prior for after, prior in zip(self.shard_set.snapshot(), before)
+            sum_snapshots(step_io[step.index][shard] for step in plan.steps)
+            for shard in range(num_shards)
         ]
         self._release_exchange_stores(plan)
         output = self._merge(plan, fragment_outputs[plan.final_step_index])
@@ -206,7 +228,7 @@ class ShardedQueryExecutor:
         )
 
     def _run_fragments(
-        self, step: FragmentStep, plan, shares, pool
+        self, step: FragmentStep, plan, shares, pool, limit
     ) -> list[QueryResult]:
         def run_fragment(index: int) -> QueryResult:
             executor = QueryExecutor(
@@ -216,19 +238,20 @@ class ShardedQueryExecutor:
             )
             return executor.execute(step.fragments[index])
 
-        return list(pool.map(run_fragment, range(len(step.fragments))))
+        return pool.map_shards(run_fragment, len(step.fragments), limit)
 
     def _run_exchange(
-        self, step: ExchangeStep, fragment_outputs, pool
-    ) -> tuple[int, float, float]:
-        """Run the two exchange phases; returns (records moved, critical
-        ns, critical cachelines).
+        self, step: ExchangeStep, fragment_outputs, pool, limit
+    ) -> tuple[int, list[IOSnapshot], float, float]:
+        """Run the two exchange phases; returns (records moved, per-shard
+        deltas, critical ns, critical cachelines).
 
         The phases are barriers -- every destination waits for the slowest
         reader before writing -- so the step's critical path is the
         slowest read *plus* the slowest write, matching
         :attr:`ExchangeStep.est_critical_ns`, not the maximum of one
-        device's combined delta.
+        device's combined delta.  Each phase task measures its own device
+        delta on the device's serial worker.
         """
         if step.sources is not None:
             sources = step.sources
@@ -236,23 +259,27 @@ class ShardedQueryExecutor:
             sources = fragment_outputs[step.source_fragment]
         num_shards = len(step.dests)
         shard_of = step.partitioner.shard_of
-        before = self.shard_set.snapshot()
 
         # Phase 1 (parallel per source shard): scan and bucket.  Reads are
         # charged on the source device iff the source is materialized.
-        def read_and_bucket(source) -> list[list[tuple]]:
+        def read_and_bucket(index: int):
+            device = self.shard_set.devices[index]
+            before = device.snapshot()
             buckets: list[list[tuple]] = [[] for _ in range(num_shards)]
-            for block in source.scan_blocks():
+            for block in sources[index].scan_blocks():
                 for record in block:
                     buckets[shard_of(record)].append(record)
-            return buckets
+            return buckets, device.snapshot() - before
 
-        all_buckets = list(pool.map(read_and_bucket, sources))
-        mid = self.shard_set.snapshot()
+        read_results = pool.map_shards(read_and_bucket, num_shards, limit)
+        all_buckets = [buckets for buckets, _ in read_results]
+        read_deltas = [delta for _, delta in read_results]
 
         # Phase 2 (parallel per destination shard): bulk-append the
         # destination's share from every source, charging its own device.
-        def write_destination(dest_index: int) -> int:
+        def write_destination(dest_index: int):
+            device = self.shard_set.devices[dest_index]
+            before = device.snapshot()
             dest = step.dests[dest_index]
             dest.clear()
             # Destinations are planned in the MEMORY state; (re)attach the
@@ -265,17 +292,17 @@ class ShardedQueryExecutor:
                 dest.extend(bucket)
                 moved += len(bucket)
             dest.seal()
-            return moved
+            return moved, device.snapshot() - before
 
-        moved = sum(pool.map(write_destination, range(num_shards)))
-        after = self.shard_set.snapshot()
-        reads = [m - b for m, b in zip(mid, before)]
-        writes = [a - m for a, m in zip(after, mid)]
-        phase_ns = critical_path_ns(reads) + critical_path_ns(writes)
+        write_results = pool.map_shards(write_destination, num_shards, limit)
+        moved = sum(count for count, _ in write_results)
+        write_deltas = [delta for _, delta in write_results]
+        deltas = [read + write for read, write in zip(read_deltas, write_deltas)]
+        phase_ns = critical_path_ns(read_deltas) + critical_path_ns(write_deltas)
         phase_cachelines = max(
-            delta.total_cachelines for delta in reads
-        ) + max(delta.total_cachelines for delta in writes)
-        return moved, phase_ns, phase_cachelines
+            delta.total_cachelines for delta in read_deltas
+        ) + max(delta.total_cachelines for delta in write_deltas)
+        return moved, deltas, phase_ns, phase_cachelines
 
     @staticmethod
     def _release_exchange_stores(plan) -> None:

@@ -254,10 +254,14 @@ class ShardedPlanner:
     Args:
         shard_set: the devices/backends the query's sharded collections
             live on; every scanned collection must belong to it.
-        budget: the *parent* DRAM budget.  Fragments run concurrently, so
-            each shard is planned (and later executed) under an even
-            ``1/N`` share; the shares are enforced at execution time
-            through parent/child bufferpool accounting.
+        budget: the DRAM budget *this query* runs under -- under workload
+            admission control this is the query's admitted
+            :class:`~repro.storage.bufferpool.Bufferpool` share, not the
+            whole session budget.  Fragments run concurrently, so each
+            shard is planned (and later executed) under an even ``1/N``
+            slice of it; the slices are enforced at execution time
+            through parent/child bufferpool accounting against the
+            admitted share.
     """
 
     def __init__(

@@ -184,20 +184,34 @@ class Bufferpool:
     def available_bytes(self) -> int:
         return self.budget.nbytes - self.reserved_bytes
 
+    def holders(self) -> dict[str, int]:
+        """A copy of the current per-owner reservations (bytes)."""
+        with self._lock:
+            return dict(self._reserved)
+
     def reserve(self, nbytes: int, owner: str) -> None:
         """Reserve ``nbytes`` for ``owner``; raises when over budget."""
         if nbytes < 0:
             raise ConfigurationError("reservation must be non-negative")
         with self._lock:
             if self._closed:
-                raise ConfigurationError(
-                    f"bufferpool share {self.owner!r} is closed"
+                label = (
+                    f"bufferpool share {self.owner!r}"
+                    if self.owner is not None
+                    else "bufferpool"
                 )
+                raise ConfigurationError(f"{label} is closed")
             available = self.budget.nbytes - sum(self._reserved.values())
             if nbytes > available:
+                held = ", ".join(
+                    f"{name}={amount}"
+                    for name, amount in sorted(self._reserved.items())
+                )
+                breakdown = f"; held by: {held}" if held else ""
                 raise BufferpoolExhaustedError(
                     f"{owner!r} requested {nbytes} bytes but only "
                     f"{available} of {self.budget.nbytes} are available"
+                    f"{breakdown}"
                 )
             self._reserved[owner] = self._reserved.get(owner, 0) + nbytes
 

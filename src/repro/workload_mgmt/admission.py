@@ -1,0 +1,400 @@
+"""Admission control over the shared session bufferpool.
+
+Every admitted query runs under its own child
+:class:`~repro.storage.bufferpool.Bufferpool` share carved out of the
+session pool, sized from the planner's memory estimate for the query
+(:func:`estimate_plan_memory_bytes`).  Because shares reserve their full
+budget in the parent up front, the set of concurrently admitted queries
+can never jointly exceed the session budget — admission is exactly the
+point where :class:`~repro.exceptions.BufferpoolExhaustedError` surfaces,
+and what happens then is the pluggable :class:`AdmissionPolicy`:
+
+``queue``
+    the query waits (FIFO within a priority level, higher priority
+    first) until running queries release enough memory;
+
+``shed``
+    the query is rejected immediately with
+    :class:`~repro.exceptions.AdmissionRejectedError`;
+
+``degrade``
+    the request is halved (down to a floor) and the query replanned
+    under the smaller budget — which is what pushes the planner toward
+    low-memory physical operators (block nested loops instead of hash
+    joins) and materialized boundaries (the pipeline feasibility gate
+    fails) — queueing at the floor only if even that cannot be carved.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from typing import Optional
+
+from repro.aggregation.operators import HashAggregation
+from repro.exceptions import (
+    AdmissionRejectedError,
+    BufferpoolExhaustedError,
+    ConfigurationError,
+)
+from repro.query.planner import SORT_ALTERNATIVES, PhysicalPlan
+from repro.shard.planner import FragmentStep
+from repro.storage.bufferpool import Bufferpool
+from repro.workload_mgmt.handle import QueryHandle, QueryStatus
+
+#: Floor on a query's DRAM share, in device blocks: even a degraded
+#: query keeps enough workspace for a handful of blocks, which every
+#: operator can run (or fall back) under.
+MIN_SHARE_BLOCKS = 4
+
+
+def admission_floor_bytes(budget) -> int:
+    """The smallest share the controller will carve under ``budget``."""
+    return min(budget.nbytes, MIN_SHARE_BLOCKS * budget.block_bytes)
+
+
+# --------------------------------------------------------------------- #
+# Planner-based memory estimation.
+# --------------------------------------------------------------------- #
+def _node_demand_bytes(node, budget) -> int:
+    """Estimated DRAM workspace one plan node wants, capped at the budget.
+
+    Streaming nodes (scan/filter/project) touch one block at a time.
+    Blocking operators profit from memory up to a natural ceiling: a
+    sort's input size, a join's build side, a hash aggregation's group
+    state.  Beyond that ceiling extra DRAM is wasted, so the ceiling is
+    the demand.
+    """
+    if node.factory is None:
+        return budget.block_bytes
+    operator = node.operator
+    if operator in SORT_ALTERNATIVES or operator.startswith("SortAgg["):
+        child = node.children[0]
+        need = child.est_records * child.schema.record_bytes
+    elif operator == "HashAgg":
+        groups = node.extra.get("estimated_groups", node.est_records)
+        need = groups * HashAggregation.GROUP_STATE_BYTES
+    else:  # a join: want the build side resident.
+        need = min(
+            child.est_records * child.schema.record_bytes
+            for child in node.children
+        )
+    return int(min(budget.nbytes, max(need, budget.block_bytes)))
+
+
+def _single_plan_demand_bytes(plan: PhysicalPlan) -> int:
+    """Peak workspace demand of a single-device plan (nodes run one at
+    a time, so the peak — not the sum — is what the query needs)."""
+    return max(
+        _node_demand_bytes(node, plan.budget) for node in plan.root.walk()
+    )
+
+
+def estimate_plan_memory_bytes(plan) -> int:
+    """The planner's DRAM estimate for one planned query, in bytes.
+
+    For a single-device plan this is the peak per-node workspace demand.
+    For a sharded plan the fragments of one step run concurrently (one
+    per device), so the estimate is ``num_shards`` times the peak
+    fragment demand across steps — the amount the sharded executor will
+    split into per-shard child shares.  Exchange record buckets are
+    staged in unaccounted DRAM (as in single-query execution) and are
+    not part of the estimate.
+    """
+    if getattr(plan, "is_sharded_plan", False):
+        fragment_demand = plan.shard_budget.block_bytes
+        for step in plan.steps:
+            if not isinstance(step, FragmentStep):
+                continue
+            for fragment in step.fragments:
+                fragment_demand = max(
+                    fragment_demand, _single_plan_demand_bytes(fragment)
+                )
+        return int(min(plan.budget.nbytes, fragment_demand * plan.num_shards))
+    return _single_plan_demand_bytes(plan)
+
+
+# --------------------------------------------------------------------- #
+# Policies.
+# --------------------------------------------------------------------- #
+class AdmissionPolicy:
+    """What to do when a query's share cannot be carved right now.
+
+    ``on_exhausted`` runs under the controller lock; it must either park
+    the handle on the wait queue (``controller._enqueue``), reject it
+    (``handle._reject``), or shrink the request and retry the carve
+    (``controller._carve``).  Returns ``True`` when the query ended up
+    admitted after all.
+    """
+
+    name = "policy"
+
+    def on_exhausted(
+        self,
+        controller: "AdmissionController",
+        handle: QueryHandle,
+        error: BufferpoolExhaustedError,
+    ) -> bool:
+        raise NotImplementedError
+
+
+class QueueAdmission(AdmissionPolicy):
+    """Wait for memory: FIFO within a priority level, higher first."""
+
+    name = "queue"
+
+    def on_exhausted(self, controller, handle, error) -> bool:
+        controller._enqueue(handle)
+        return False
+
+
+class ShedAdmission(AdmissionPolicy):
+    """Reject immediately instead of waiting."""
+
+    name = "shed"
+
+    def on_exhausted(self, controller, handle, error) -> bool:
+        handle._reject(
+            AdmissionRejectedError(
+                f"query {handle.tag or handle.seq} shed by admission "
+                f"control: {error}"
+            )
+        )
+        return False
+
+
+class DegradeAdmission(AdmissionPolicy):
+    """Halve the request (and later replan) until it fits or floors out.
+
+    A degraded query is replanned under the smaller admitted budget, so
+    the cost-based planner switches to low-memory operators and
+    materialized boundaries on its own.  If even the floor cannot be
+    carved, the query queues at the floor size.
+    """
+
+    name = "degrade"
+
+    def on_exhausted(self, controller, handle, error) -> bool:
+        if handle._preplanned:
+            # A pre-planned query cannot be replanned under a smaller
+            # budget (its operators already size workspace from the
+            # plan's own budget), so degrading would over-reserve the
+            # share at run time; wait for the full request instead.
+            controller._enqueue(handle)
+            return False
+        floor = controller.floor_bytes
+        nbytes = handle.requested_bytes
+        while nbytes > floor:
+            nbytes = max(floor, nbytes // 2)
+            handle.requested_bytes = nbytes
+            handle.degraded = True
+            if controller._carve(handle):
+                return True
+        controller._enqueue(handle)
+        return False
+
+
+ADMISSION_POLICIES = {
+    policy.name: policy
+    for policy in (QueueAdmission(), ShedAdmission(), DegradeAdmission())
+}
+
+
+def resolve_policy(policy) -> AdmissionPolicy:
+    """An :class:`AdmissionPolicy` instance from a name or instance."""
+    if isinstance(policy, AdmissionPolicy):
+        return policy
+    if isinstance(policy, str) and policy in ADMISSION_POLICIES:
+        return ADMISSION_POLICIES[policy]
+    raise ConfigurationError(
+        f"unknown admission policy {policy!r}; expected one of "
+        f"{', '.join(sorted(ADMISSION_POLICIES))} or an AdmissionPolicy"
+    )
+
+
+# --------------------------------------------------------------------- #
+# The controller.
+# --------------------------------------------------------------------- #
+class AdmissionController:
+    """Carves per-query shares out of the session bufferpool.
+
+    Args:
+        bufferpool: the session pool every admitted query's share is
+            carved from.
+        policy: default :class:`AdmissionPolicy` (name or instance).
+        floor_bytes: smallest share the ``degrade`` policy will shrink
+            to (and the lower clamp on explicit requests).
+    """
+
+    def __init__(
+        self,
+        bufferpool: Bufferpool,
+        policy="queue",
+        floor_bytes: Optional[int] = None,
+    ) -> None:
+        self.bufferpool = bufferpool
+        self.default_policy = resolve_policy(policy)
+        self.floor_bytes = (
+            floor_bytes
+            if floor_bytes is not None
+            else admission_floor_bytes(bufferpool.budget)
+        )
+        self._lock = threading.RLock()
+        self._pending: list[tuple[int, int, QueryHandle]] = []
+        self._counter = itertools.count()
+        self._admitted: set[int] = set()
+
+    # ------------------------------------------------------------------ #
+    # Admission.
+    # ------------------------------------------------------------------ #
+    def try_admit(self, handle: QueryHandle, policy=None) -> bool:
+        """Admit ``handle`` now, or apply the policy's exhaustion action.
+
+        Returns ``True`` when the handle holds an admitted share on
+        return; ``False`` when it was queued or rejected.
+        """
+        chosen = resolve_policy(policy) if policy is not None else self.default_policy
+        with self._lock:
+            if not self._acquire_slot(handle):
+                if chosen.name == "shed":
+                    handle._reject(
+                        AdmissionRejectedError(
+                            f"query {handle.tag or handle.seq} shed: no "
+                            "free execution slot"
+                        )
+                    )
+                else:
+                    self._enqueue(handle)
+                return False
+            if self._carve(handle):
+                return True
+            error = BufferpoolExhaustedError(
+                f"cannot carve {handle.requested_bytes} bytes for query "
+                f"{handle.tag or handle.seq}; "
+                f"{self.bufferpool.available_bytes} of "
+                f"{self.bufferpool.budget.nbytes} available"
+            )
+            admitted = chosen.on_exhausted(self, handle, error)
+            if not admitted:
+                self._release_slot(handle)
+            return admitted
+
+    def release(self, handle: QueryHandle) -> list[QueryHandle]:
+        """Return a finished query's share; admit unblocked waiters.
+
+        Waiters are admitted in priority order (FIFO within a level)
+        with head-of-line blocking: admission stops at the first waiter
+        that still does not fit, so a large early query is never starved
+        by small late ones.  Returns the newly admitted handles for the
+        scheduler to dispatch.
+        """
+        with self._lock:
+            self._close_share(handle)
+            self._release_slot(handle)
+            admitted: list[QueryHandle] = []
+            while self._pending:
+                _, _, head = self._pending[0]
+                if head.status is not QueryStatus.QUEUED:
+                    heapq.heappop(self._pending)  # cancelled: drop lazily
+                    continue
+                if not self._acquire_slot(head):
+                    break
+                if not self._carve(head):
+                    self._release_slot(head)
+                    break
+                heapq.heappop(self._pending)
+                admitted.append(head)
+            return admitted
+
+    def cancel(self, handle: QueryHandle) -> bool:
+        """Cancel a queued handle (lazily removed from the heap)."""
+        with self._lock:
+            if handle.status is not QueryStatus.QUEUED:
+                return False
+            handle._cancel_queued()
+            return True
+
+    def drain_pending(self) -> list[QueryHandle]:
+        """Cancel every queued handle (used by ``Session.close``)."""
+        with self._lock:
+            cancelled = []
+            while self._pending:
+                _, _, head = heapq.heappop(self._pending)
+                if head.status is QueryStatus.QUEUED:
+                    head._cancel_queued()
+                    cancelled.append(head)
+            return cancelled
+
+    @property
+    def admitted_count(self) -> int:
+        with self._lock:
+            return len(self._admitted)
+
+    @property
+    def pending_count(self) -> int:
+        with self._lock:
+            return sum(
+                1
+                for _, _, handle in self._pending
+                if handle.status is QueryStatus.QUEUED
+            )
+
+    # ------------------------------------------------------------------ #
+    # Internals (called under the lock, including from policies).
+    # ------------------------------------------------------------------ #
+    def _carve(self, handle: QueryHandle) -> bool:
+        nbytes = max(self.floor_bytes, int(handle.requested_bytes))
+        nbytes = min(nbytes, self.bufferpool.budget.nbytes)
+        owner = f"query-{handle.seq}" + (f"[{handle.tag}]" if handle.tag else "")
+        try:
+            share = self.bufferpool.share(nbytes=nbytes, owner=owner)
+        except BufferpoolExhaustedError:
+            return False
+        handle._share = share
+        handle.admitted_bytes = nbytes
+        # The status flips to RUNNING here, under the controller lock,
+        # not later at dispatch: cancel() checks the status under the
+        # same lock, so a handle admitted by a concurrent release() can
+        # never be "cancelled" after its share was carved and then run
+        # anyway.
+        handle._mark_running()
+        self._admitted.add(handle.seq)
+        return True
+
+    def _close_share(self, handle: QueryHandle) -> None:
+        share = handle._share
+        if share is None:
+            return
+        handle._share = None
+        self._admitted.discard(handle.seq)
+        try:
+            share.close()
+        except ConfigurationError:
+            # A failed query may have leaked workspace reservations; the
+            # memory must still return to the session pool, so force the
+            # release and close again.
+            for owner in list(share.holders()):
+                share.release(owner)
+            share.close()
+
+    def _enqueue(self, handle: QueryHandle) -> None:
+        heapq.heappush(
+            self._pending, (-handle.priority, next(self._counter), handle)
+        )
+
+    @staticmethod
+    def _acquire_slot(handle: QueryHandle) -> bool:
+        gate = handle._slot_gate
+        if gate is None:
+            return True
+        if gate.try_acquire():
+            handle._slot_held = True
+            return True
+        return False
+
+    @staticmethod
+    def _release_slot(handle: QueryHandle) -> None:
+        if handle._slot_held and handle._slot_gate is not None:
+            handle._slot_gate.release()
+            handle._slot_held = False

@@ -268,3 +268,94 @@ class TestBufferpoolShares:
             thread.join()
         assert not errors
         assert pool.reserved_bytes == 0
+
+
+class TestShareContention:
+    """share()/close() racing from many threads must never over-reserve."""
+
+    def test_racing_shares_never_exceed_the_parent_budget(self):
+        import threading
+
+        budget = MemoryBudget.from_bytes(100_000)
+        parent = Bufferpool(budget)
+        share_bytes = 30_000  # only 3 of 12 racers can fit at once
+        barrier = threading.Barrier(12)
+        admitted, rejected, errors = [], [], []
+        lock = threading.Lock()
+
+        def racer(index):
+            barrier.wait()
+            try:
+                child = parent.share(nbytes=share_bytes, owner=f"racer{index}")
+            except BufferpoolExhaustedError as error:
+                with lock:
+                    rejected.append(str(error))
+                return
+            except Exception as error:  # pragma: no cover - failure path
+                with lock:
+                    errors.append(error)
+                return
+            with lock:
+                admitted.append(child)
+                # The invariant under the race: live shares never jointly
+                # exceed the parent budget.
+                assert parent.reserved_bytes <= budget.nbytes
+
+        threads = [
+            threading.Thread(target=racer, args=(index,)) for index in range(12)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(admitted) == 3
+        assert len(rejected) == 9
+        assert parent.reserved_bytes == 3 * share_bytes
+        for child in admitted:
+            child.close()
+        assert parent.reserved_bytes == 0
+
+    def test_exhaustion_message_carries_the_owner_breakdown(self):
+        parent = Bufferpool(MemoryBudget.from_bytes(10_000))
+        first = parent.share(nbytes=6_000, owner="query-a")
+        second = parent.share(nbytes=3_000, owner="query-b")
+        with pytest.raises(BufferpoolExhaustedError) as excinfo:
+            parent.share(nbytes=4_000, owner="query-c")
+        message = str(excinfo.value)
+        assert "query-a=6000" in message
+        assert "query-b=3000" in message
+        assert "only 1000 of 10000" in message
+        second.close()
+        first.close()
+
+    def test_racing_share_close_cycles_stay_balanced(self):
+        import threading
+
+        parent = Bufferpool(MemoryBudget.from_bytes(50_000))
+        errors = []
+
+        def churn(index):
+            try:
+                for _ in range(50):
+                    try:
+                        child = parent.share(
+                            nbytes=10_000, owner=f"churn{index}"
+                        )
+                    except BufferpoolExhaustedError:
+                        continue
+                    child.reserve(5_000, owner="workspace")
+                    child.release("workspace")
+                    child.close()
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=churn, args=(index,)) for index in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert parent.reserved_bytes == 0

@@ -1,0 +1,305 @@
+"""The redesigned Session front door: lifecycle, shim, routing, reports."""
+
+import warnings
+
+import pytest
+
+from repro import MemoryBudget, Query, Session, ShardSet
+from repro.exceptions import AdmissionRejectedError, ConfigurationError
+from repro.storage.bufferpool import Bufferpool
+from repro.storage.collection import PersistentCollection
+from repro.storage.schema import WISCONSIN_SCHEMA
+from repro.workload_mgmt import QueryStatus
+from repro.workloads.generator import (
+    make_sharded_sort_input,
+    make_sort_input,
+)
+
+
+def build_plain(backend, name, keys):
+    collection = PersistentCollection(
+        name=name, backend=backend, schema=WISCONSIN_SCHEMA
+    )
+    collection.extend(WISCONSIN_SCHEMA.make_record(key) for key in keys)
+    collection.seal()
+    return collection
+
+
+class TestContextManager:
+    def test_with_session_closes(self, backend):
+        collection = make_sort_input(100, backend)
+        with Session(backend, MemoryBudget.from_records(50)) as session:
+            result = session.query(Query.scan(collection).order_by())
+            assert len(result.records) == 100
+        assert session.closed
+        with pytest.raises(ConfigurationError, match="closed"):
+            session.query(Query.scan(collection).order_by())
+
+    def test_close_is_idempotent(self, backend):
+        session = Session(backend)
+        session.close()
+        session.close()
+        assert session.closed
+
+    def test_close_warns_on_leaked_reservations(self, backend):
+        session = Session(backend, MemoryBudget.from_records(50))
+        session.bufferpool.reserve(1_000, owner="leaky-operator")
+        with pytest.warns(ResourceWarning, match="leaky-operator"):
+            session.close()
+        # The leak was force-released and the session-owned pool closed.
+        assert session.bufferpool.holders() == {}
+        with pytest.raises(ConfigurationError, match="closed"):
+            session.bufferpool.reserve(1, owner="anyone")
+
+    def test_close_leaves_an_injected_pool_alone(self, backend):
+        budget = MemoryBudget.from_records(50)
+        pool = Bufferpool(budget)
+        pool.reserve(1_000, owner="caller-workspace")
+        session = Session(backend, budget, bufferpool=pool)
+        session.close()
+        # The caller's pool keeps its reservations and stays usable.
+        assert pool.holders() == {"caller-workspace": 1_000}
+        pool.reserve(100, owner="still-open")
+        pool.release("still-open")
+        pool.release("caller-workspace")
+
+    def test_close_waits_for_inflight_queries(self, backend):
+        collection = make_sort_input(1500, backend)
+        session = Session(backend, MemoryBudget.from_records(100))
+        handle = session.submit(Query.scan(collection).order_by())
+        session.close()
+        assert handle.status is QueryStatus.DONE
+        assert [r[0] for r in handle.result().records] == sorted(
+            r[0] for r in collection.records
+        )
+
+    def test_close_resolves_queued_queries(self, backend):
+        collection = make_sort_input(1200, backend)
+        session = Session(backend, MemoryBudget.from_records(100))
+        running = session.submit(
+            Query.scan(collection).order_by(),
+            memory_bytes=session.budget.nbytes,
+        )
+        queued = session.submit(
+            Query.scan(collection).order_by(),
+            memory_bytes=session.budget.nbytes,
+        )
+        session.close()
+        assert running.status is QueryStatus.DONE
+        # close() either cancelled the waiter before the running query
+        # finished, or the running query finished first and its release
+        # admitted the waiter -- but it is never left stranded.
+        assert queued.status in (QueryStatus.CANCELLED, QueryStatus.DONE)
+        assert session.bufferpool.holders() == {}
+
+    def test_shutdown_cancels_a_parked_queue(self, backend):
+        """Deterministic cancellation: nothing running, so the queued
+        handle cannot be admitted before close() drains it."""
+        collection = make_sort_input(300, backend)
+        session = Session(backend, MemoryBudget.from_records(100))
+        blocker = session.submit(
+            Query.scan(collection).order_by(),
+            memory_bytes=session.budget.nbytes,
+            _dispatch=False,
+        )
+        queued = session.submit(
+            Query.scan(collection).order_by(),
+            memory_bytes=session.budget.nbytes,
+        )
+        assert queued.status is QueryStatus.QUEUED
+        cancelled = session.scheduler.shutdown(wait=False)
+        assert cancelled == [queued]
+        assert queued.status is QueryStatus.CANCELLED
+        # The undispatched blocker still holds its share; releasing it
+        # (as close() would after a dispatch) leaves the pool clean.
+        session.scheduler.controller.release(blocker)
+        assert session.bufferpool.holders() == {}
+
+
+class TestQueryShim:
+    def test_query_is_submit_then_result(self, backend):
+        collection = make_sort_input(200, backend)
+        with Session(backend, MemoryBudget.from_records(60)) as session:
+            via_query = session.query(Query.scan(collection).order_by())
+            handle = session.submit(
+                Query.scan(collection).order_by(),
+                memory_bytes=session.budget.nbytes,
+            )
+            assert via_query.records == handle.result().records
+
+    def test_query_sheds_instead_of_waiting(self, backend):
+        budget = MemoryBudget.from_records(100)
+        pool = Bufferpool(budget)
+        pool.reserve(budget.nbytes - 100, owner="external-user")
+        collection = make_sort_input(100, backend)
+        session = Session(backend, budget, bufferpool=pool)
+        with pytest.raises(AdmissionRejectedError):
+            session.query(Query.scan(collection).order_by())
+
+    def test_max_workers_rejected_on_query(self, backend):
+        collection = make_sort_input(50, backend)
+        session = Session(backend, MemoryBudget.from_records(50))
+        with pytest.raises(ConfigurationError, match="max_workers"):
+            session.query(
+                Query.scan(collection).order_by(), max_workers=2
+            )
+
+    def test_preplanned_queries_still_run(self, backend):
+        collection = make_sort_input(150, backend)
+        with Session(backend, MemoryBudget.from_records(60)) as session:
+            plan = session.plan(Query.scan(collection).order_by())
+            result = session.query(plan)
+            assert [r[0] for r in result.records] == sorted(
+                r[0] for r in collection.records
+            )
+
+
+class TestMixedRouting:
+    def test_plain_query_on_shard_backend_runs(self):
+        shard_set = ShardSet.create(2)
+        plain = build_plain(shard_set.backends[1], "ON-SHARD", range(200))
+        with Session(shard_set, MemoryBudget.from_records(60)) as session:
+            result = session.query(
+                Query.scan(plain).filter(lambda r: r[0] < 100, selectivity=0.5)
+            )
+            assert len(result.records) == 100
+
+    def test_plain_query_off_the_shard_set_rejected(self, backend):
+        shard_set = ShardSet.create(2)
+        foreign = build_plain(backend, "FOREIGN", range(50))
+        session = Session(shard_set, MemoryBudget.from_records(60))
+        with pytest.raises(ConfigurationError, match="ShardSet"):
+            session.query(Query.scan(foreign).order_by())
+
+    def test_mixed_workload_single_device_and_sharded(self):
+        shard_set = ShardSet.create(2)
+        sharded = make_sharded_sort_input(200, shard_set)
+        plain = build_plain(shard_set.backends[0], "MIX", range(150))
+        with Session(shard_set, MemoryBudget.from_bytes(64_000)) as session:
+            report = session.run_workload(
+                [
+                    {"query": Query.scan(sharded).order_by(), "tag": "sharded"},
+                    {
+                        "query": Query.scan(plain).filter(
+                            lambda r: r[0] < 75, selectivity=0.5
+                        ),
+                        "tag": "plain",
+                    },
+                ]
+            )
+            assert len(report.completed) == 2
+            by_tag = {handle.tag: handle for handle in report.handles}
+            assert len(by_tag["plain"].result().records) == 75
+            assert len(by_tag["sharded"].result().records) == 200
+
+
+class TestCalibrationReport:
+    def test_report_aggregates_across_queries(self, backend):
+        collection = make_sort_input(300, backend)
+        with Session(backend, MemoryBudget.from_records(60)) as session:
+            assert "0 queries" in session.calibration_report()
+            session.query(Query.scan(collection).order_by())
+            session.query(
+                Query.scan(collection)
+                .filter(lambda r: r[0] < 150, selectivity=0.5)
+                .order_by()
+            )
+            report = session.calibration_report()
+        assert "2 queries" in report
+        assert "actual/est" in report
+        assert "Filter" in report
+        # A sort operator shows up with a parseable ratio.
+        sort_lines = [
+            line
+            for line in report.splitlines()
+            if line.split() and line.split()[0] in {"ExMS", "LaS", "HybS", "SegS"}
+        ]
+        assert sort_lines
+        ratio = float(sort_lines[0].split()[-1])
+        assert 0.1 < ratio < 10.0
+
+    def test_sharded_queries_feed_the_report(self):
+        shard_set = ShardSet.create(2)
+        collection = make_sharded_sort_input(200, shard_set)
+        with Session(shard_set, MemoryBudget.from_records(60)) as session:
+            session.query(Query.scan(collection).order_by())
+            report = session.calibration_report()
+        assert "1 query" in report
+
+
+class TestWorkloadValidation:
+    def test_empty_workload_rejected(self, backend):
+        session = Session(backend)
+        with pytest.raises(ConfigurationError, match="at least one"):
+            session.run_workload([])
+
+    def test_workload_item_mapping_requires_query(self, backend):
+        session = Session(backend)
+        with pytest.raises(ConfigurationError, match="query"):
+            session.run_workload([{"tag": "missing"}])
+
+    def test_invalid_memory_bytes_rejected(self, backend):
+        collection = make_sort_input(50, backend)
+        session = Session(backend)
+        with pytest.raises(ConfigurationError, match="memory_bytes"):
+            session.submit(Query.scan(collection).order_by(), memory_bytes=0)
+
+
+class TestReviewRegressions:
+    def test_preplanned_query_never_degrades_below_its_budget(self, backend):
+        """A pre-planned plan cannot be replanned, so the degrade policy
+        must queue it for its full request instead of admitting it under
+        a share its operators would over-reserve."""
+        collection = make_sort_input(400, backend)
+        budget = MemoryBudget.from_records(100)
+        with Session(
+            backend, budget, admission_policy="degrade"
+        ) as session:
+            plan = session.plan(Query.scan(collection).order_by())
+            blocker = session.submit(
+                Query.scan(collection).order_by(),
+                memory_bytes=(budget.nbytes * 3) // 4,
+            )
+            preplanned = session.submit(plan, tag="preplanned")
+            preplanned.wait()
+            assert preplanned.status is QueryStatus.DONE
+            assert not preplanned.degraded
+            assert preplanned.admitted_bytes == budget.nbytes
+            blocker.result()
+
+    def test_failed_workload_submission_releases_admitted_shares(
+        self, backend
+    ):
+        collection = make_sort_input(200, backend)
+        session = Session(backend, MemoryBudget.from_records(100))
+        good = {
+            "query": Query.scan(collection).order_by(),
+            "memory_bytes": session.budget.nbytes,
+            "tag": "good",
+        }
+        bad = {
+            "query": Query.scan(collection).order_by(),
+            "memory_bytes": -1,
+            "tag": "bad",
+        }
+        with pytest.raises(ConfigurationError, match="memory_bytes"):
+            session.run_workload([good, dict(good, tag="queued"), bad])
+        # Nothing is left holding the pool: the admitted-but-undispatched
+        # share was returned and the queued member cancelled.
+        assert session.bufferpool.holders() == {}
+        result = session.query(Query.scan(collection).order_by())
+        assert len(result.records) == 200
+        session.close()
+
+    def test_admitted_handles_report_running_before_dispatch(self, backend):
+        """Admission flips the status under the controller lock, so a
+        handle whose share is carved can never be cancelled."""
+        collection = make_sort_input(100, backend)
+        with Session(backend, MemoryBudget.from_records(50)) as session:
+            handle = session.submit(
+                Query.scan(collection).order_by(), _dispatch=False
+            )
+            assert handle.status is QueryStatus.RUNNING
+            assert not handle.cancel()
+            session.scheduler.start(handle)
+            assert len(handle.result().records) == 100
